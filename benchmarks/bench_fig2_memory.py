@@ -1,0 +1,83 @@
+"""Experiment F2 — paper Figure 2: the compressed data-management design.
+
+Figure 2 shows the state vector living in CPU memory *only* in compressed
+chunks, with small CPU buffers and a bounded GPU footprint. This benchmark
+measures exactly those three quantities per workload and error bound, and
+compares against the dense baseline footprint:
+
+    peak(compressed store) + peak(staging buffers) + peak(device arena)
+    vs  2^n * 16 bytes (dense)
+
+The design claim holds when the total stays well under dense for
+compressible workloads, with the store the dominant term and the buffers /
+arena fixed-size regardless of n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import print_banner, tight_config
+from repro.analysis import Table, format_bytes
+from repro.circuits import get_workload
+from repro.core import MemQSim
+
+WORKLOADS = ["ghz", "w", "qft", "qaoa", "supremacy"]
+N = 14
+EBS = [1e-4, 1e-6]
+
+
+def run_one(workload: str, eb: float, n: int = N, chunk: int = 7):
+    cfg = tight_config(chunk_qubits=chunk,
+                       compressor_options={"error_bound": eb})
+    return MemQSim(cfg).run(get_workload(workload, n))
+
+
+def generate_table(n: int = N) -> Table:
+    t = Table(
+        ["workload", "eb", "store peak", "buffers", "device", "total",
+         "dense", "saving"],
+        title=f"Figure 2 (reproduced): memory footprint at n={n}",
+    )
+    for w in WORKLOADS:
+        for eb in EBS:
+            res = run_one(w, eb, n)
+            store = res.tracker.peak("chunk_store")
+            bufs = res.tracker.peak("host_buffers")
+            dev = res.tracker.peak("device_arena")
+            total = store + bufs + dev
+            t.add(
+                w, f"{eb:g}",
+                format_bytes(store), format_bytes(bufs), format_bytes(dev),
+                format_bytes(total), format_bytes(res.dense_bytes),
+                f"{res.dense_bytes / total:.1f}x",
+            )
+    return t
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["ghz", "qft", "supremacy"])
+def test_memory_footprint(benchmark, workload):
+    res = benchmark.pedantic(
+        run_one, args=(workload, 1e-6, 12, 6), rounds=2, iterations=1
+    )
+    # Buffers and device arena are fixed-size by construction.
+    assert res.tracker.peak("host_buffers") <= 2 * (1 << 7) * 16
+    assert res.peak_device_bytes <= tight_config(6).device.memory_bytes
+
+
+def test_structured_beats_dense(benchmark):
+    res = benchmark.pedantic(run_one, args=("ghz", 1e-6, 14, 7),
+                             rounds=1, iterations=1)
+    total = (res.tracker.peak("chunk_store")
+             + res.tracker.peak("host_buffers")
+             + res.peak_device_bytes)
+    assert total < res.dense_bytes
+
+
+if __name__ == "__main__":
+    print_banner(__doc__.splitlines()[0])
+    print(generate_table().render())
+    print("paper design goal: store compressed in host memory; buffers and")
+    print("device arena are fixed-size; total << dense for structured states.")

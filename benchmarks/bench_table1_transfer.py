@@ -1,0 +1,123 @@
+"""Experiment T1 — paper Table 1: H2D/D2H time per transfer strategy.
+
+Paper rows (measured on the authors' CUDA testbed):
+
+    qubits | sync H2D/D2H | async H2D/D2H | buffer H2D/D2H
+    20     | 0.003/0.008  | 2.7/9.2       | 0.003/0.004
+    25     | 0.080/0.233  | 77.9/294.4    | 0.110/0.273
+
+Shape to reproduce (see DESIGN.md's substitution note): the per-element
+"async" strategy is orders of magnitude slower than one bulk "sync" copy
+(paper: ~870x H2D), while the staging-"buffer" strategy lands within a few
+percent of sync (paper: ~1.03x).
+
+Run ``python benchmarks/bench_table1_transfer.py`` for the printed table
+(REPRO_FULL=1 adds n=20; n=25 needs ~512 MiB per buffer and minutes of
+per-element copying — the shape is already unambiguous well below that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import FULL, print_banner, state_payload
+from repro.analysis import Table, format_seconds
+from repro.device import make_strategy
+
+BENCH_QUBITS = 14  # pytest-benchmark size (fast)
+TABLE_QUBITS = [14, 16, 18] + ([20] if FULL else [])
+
+
+def _run_cell(strategy_name: str, n: int, repeats: int = 3):
+    """Measure (h2d_seconds, d2h_seconds) for one strategy at size 2^n."""
+    host = state_payload(n)
+    dev = np.empty_like(host)
+    strat = make_strategy(strategy_name, max_elements=host.shape[0])
+    # Async is so slow that one repeat is plenty; bulk copies get min-of-k.
+    k = 1 if strategy_name == "async" else repeats
+    h2d = min(strat.h2d(host, dev) for _ in range(k))
+    d2h = min(strat.d2h(dev, host) for _ in range(k))
+    return h2d, d2h
+
+
+def generate_table(qubits=TABLE_QUBITS) -> Table:
+    t = Table(
+        ["qubits", "sync H2D", "sync D2H", "async H2D", "async D2H",
+         "buffer H2D", "buffer D2H", "async/sync", "buffer/sync"],
+        title="Table 1 (reproduced): data transfer time H2D/D2H",
+    )
+    for n in qubits:
+        cells = {}
+        for name in ("sync", "async", "buffer"):
+            cells[name] = _run_cell(name, n)
+        a_ratio = cells["async"][0] / cells["sync"][0]
+        b_ratio = cells["buffer"][0] / cells["sync"][0]
+        t.add(
+            n,
+            format_seconds(cells["sync"][0]), format_seconds(cells["sync"][1]),
+            format_seconds(cells["async"][0]), format_seconds(cells["async"][1]),
+            format_seconds(cells["buffer"][0]), format_seconds(cells["buffer"][1]),
+            f"{a_ratio:.0f}x", f"{b_ratio:.2f}x",
+        )
+    return t
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def payload():
+    host = state_payload(BENCH_QUBITS)
+    return host, np.empty_like(host)
+
+
+def test_sync_h2d(benchmark, payload):
+    host, dev = payload
+    strat = make_strategy("sync")
+    benchmark(strat.h2d, host, dev)
+
+
+def test_buffer_h2d(benchmark, payload):
+    host, dev = payload
+    strat = make_strategy("buffer", max_elements=host.shape[0])
+    benchmark(strat.h2d, host, dev)
+
+
+def test_async_h2d(benchmark, payload):
+    host, dev = payload
+    strat = make_strategy("async")
+    # one round is already ~10^4 element copies; keep pytest-benchmark happy
+    benchmark.pedantic(strat.h2d, args=(host, dev), rounds=1, iterations=1)
+
+
+def test_sync_d2h(benchmark, payload):
+    host, dev = payload
+    strat = make_strategy("sync")
+    benchmark(strat.d2h, dev, host)
+
+
+def test_buffer_d2h(benchmark, payload):
+    host, dev = payload
+    strat = make_strategy("buffer", max_elements=host.shape[0])
+    benchmark(strat.d2h, dev, host)
+
+
+def test_table1_shape(benchmark):
+    """The paper's qualitative claims, asserted: async >> sync ~= buffer."""
+
+    def run():
+        s = _run_cell("sync", 12)
+        a = _run_cell("async", 12)
+        b = _run_cell("buffer", 12)
+        return s, a, b
+
+    s, a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a[0] > 20 * s[0], "async H2D must be dominated by per-copy overhead"
+    assert a[1] > 20 * s[1], "async D2H must be dominated by per-copy overhead"
+    assert b[0] < 10 * s[0], "buffer H2D must stay near sync"
+
+
+if __name__ == "__main__":
+    print_banner(__doc__.splitlines()[0])
+    print(generate_table().render())
+    print("paper shape: async/sync ~ 870x at n=20; buffer/sync ~ 1.03x")

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench file follows the same pattern:
+
+* ``pytest benchmarks/ --benchmark-only`` runs the pytest-benchmark timings
+  at CI-friendly sizes;
+* ``python benchmarks/bench_<exp>.py`` regenerates the corresponding paper
+  table/figure at full size and prints it (set ``REPRO_FULL=1`` to run the
+  paper's exact qubit counts where that is tractable on one machine).
+
+EXPERIMENTS.md records the paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import numpy as np
+
+from repro.core import MemQSimConfig
+from repro.device import DeviceSpec, HostSpec
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def state_payload(num_qubits: int, seed: int = 1) -> np.ndarray:
+    """A random dense state-vector payload (what Table 1 ships over the bus)."""
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(1 << num_qubits) + 1j * rng.standard_normal(1 << num_qubits)
+    return v / np.linalg.norm(v)
+
+
+def tight_config(chunk_qubits: int = 5, groups_of: int = 2, **kw) -> MemQSimConfig:
+    """A config whose device forces chunk streaming (not whole-vector runs)."""
+    dev_bytes = (1 << (chunk_qubits + groups_of.bit_length() - 1)) * 16 * 2
+    defaults = dict(
+        chunk_qubits=chunk_qubits,
+        compressor="szlike",
+        compressor_options={"error_bound": 1e-6},
+        device=DeviceSpec(memory_bytes=dev_bytes),
+        host=HostSpec(memory_bytes=1 << 30, cores=4),
+    )
+    defaults.update(kw)
+    return MemQSimConfig(**defaults)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,99 @@
+"""Regenerate every experiment table in one command.
+
+Runs each bench module's ``__main__`` path and tees the combined output to
+``results/experiments_<timestamp>.txt``. This is the "reproduce the paper"
+button; individual modules can still be run directly.
+
+Usage:
+    python benchmarks/run_all.py [--skip slow] [--only T1,F1,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import sys
+import time
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+#: experiment id -> (module name, rough runtime class)
+EXPERIMENTS = {
+    "T1": ("bench_table1_transfer", "fast"),
+    "F1": ("bench_fig1_pipeline", "slow"),
+    "F2": ("bench_fig2_memory", "slow"),
+    "C1": ("bench_qubit_gain", "slow"),
+    "A1": ("bench_granularity", "slow"),
+    "A2": ("bench_compressors", "fast"),
+    "A3": ("bench_end_to_end", "slow"),
+    "A4": ("bench_access_patterns", "fast"),
+    "A5": ("bench_stage_breakdown", "fast"),
+    "A6": ("bench_ablations", "slow"),
+    "A7": ("bench_cache", "slow"),
+    "A8": ("bench_entropy_vs_ratio", "fast"),
+}
+
+
+def run_experiment(exp_id: str, module_name: str) -> str:
+    import importlib
+    import runpy
+
+    buf = io.StringIO()
+    t0 = time.perf_counter()
+    try:
+        with redirect_stdout(buf):
+            runpy.run_module(module_name, run_name="__main__")
+        status = f"done in {time.perf_counter() - t0:.1f}s"
+    except Exception as exc:  # keep going; report at the end
+        status = f"FAILED: {type(exc).__name__}: {exc}"
+    return f"[{exp_id}] {status}\n" + buf.getvalue()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--only", help="comma-separated experiment ids")
+    ap.add_argument("--skip-slow", action="store_true",
+                    help="only the fast experiments")
+    ap.add_argument("--out", default=None, help="output file path")
+    args = ap.parse_args(argv)
+
+    selected = list(EXPERIMENTS)
+    if args.only:
+        selected = [e.strip().upper() for e in args.only.split(",")]
+        unknown = [e for e in selected if e not in EXPERIMENTS]
+        if unknown:
+            raise SystemExit(f"unknown experiment ids: {unknown}")
+    if args.skip_slow:
+        selected = [e for e in selected if EXPERIMENTS[e][1] == "fast"]
+
+    out_path = args.out
+    if out_path is None:
+        os.makedirs(os.path.join(os.path.dirname(__file__), "..", "results"),
+                    exist_ok=True)
+        out_path = os.path.join(
+            os.path.dirname(__file__), "..", "results",
+            f"experiments_{time.strftime('%Y%m%d_%H%M%S')}.txt",
+        )
+
+    sections = []
+    for exp_id in selected:
+        module_name, _ = EXPERIMENTS[exp_id]
+        print(f"running {exp_id} ({module_name}) ...", flush=True)
+        sections.append(run_experiment(exp_id, module_name))
+
+    report = "\n\n".join(sections)
+    with open(out_path, "w") as fh:
+        fh.write(report)
+    print(report)
+    print(f"\nwritten to {out_path}")
+    failed = [s.splitlines()[0] for s in sections if "FAILED" in s.splitlines()[0]]
+    if failed:
+        print("failures:", *failed, sep="\n  ")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Quench dynamics of the transverse-field Ising chain, on MEMQSim.
+
+Physics workload: start from the all-up product state, quench on a
+transverse field, Trotter-evolve, and track magnetization <Z_i> and the
+energy — all evaluated by streamed Pauli sums over the compressed state.
+Energy should be (nearly) conserved; magnetization relaxes.
+
+Run:  python examples/ising_dynamics.py
+"""
+
+import numpy as np
+
+from repro.circuits import trotter_ising
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.observables import PauliSum, ising_hamiltonian
+
+N = 12
+J, G = 1.0, 0.9
+DT = 0.05
+STEPS_PER_FRAME = 4
+FRAMES = 8
+
+
+def magnetization(result) -> float:
+    return float(np.mean([result.expectation_z(q) for q in range(N)]))
+
+
+def main() -> None:
+    ham = ising_hamiltonian(N, j=J, g=G)
+    sim = MemQSim(MemQSimConfig(
+        chunk_qubits=7,
+        compressor="szlike",
+        compressor_options={"error_bound": 1e-9},
+        device=DeviceSpec(memory_bytes=(1 << 9) * 16),
+        cache_chunks=32,
+    ))
+    frame_circuit = trotter_ising(N, steps=STEPS_PER_FRAME, dt=DT, j=J, g=G)
+
+    # Evolve incrementally: each frame continues from the previous
+    # compressed state (no re-simulation from scratch).
+    result = None
+    print(f"TFIM quench: n={N}, J={J}, g={G}, dt={DT}")
+    print(f"{'t':>6} {'<m_z>':>8} {'<H>':>10} {'ratio':>7}")
+    for frame in range(FRAMES + 1):
+        if frame == 0:
+            from repro.circuits import Circuit
+
+            result = sim.run(Circuit(N))  # |0...0> = all spins up
+        else:
+            result = sim.run(frame_circuit, initial_store=result.store)
+        t = frame * STEPS_PER_FRAME * DT
+        mz = magnetization(result)
+        e = ham.expectation_chunked(result)
+        print(f"{t:>6.2f} {mz:>8.4f} {e:>10.4f} "
+              f"{result.compression_ratio:>6.1f}x")
+    print("\nenergy is conserved to Trotter error; magnetization decays")
+    print("from 1 as the transverse field mixes the spins.")
+
+
+if __name__ == "__main__":
+    main()

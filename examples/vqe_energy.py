@@ -1,0 +1,60 @@
+"""VQE on MEMQSim: parameter-shift gradients over the compressed state.
+
+Runs a hardware-efficient ansatz through MEMQSim, evaluates the Ising
+Hamiltonian with the one-pass streamed Pauli-sum engine, and descends the
+energy with exact parameter-shift gradients (``repro.variational``) — the
+full variational workflow with the state never dense.
+
+Run:  python examples/vqe_energy.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.circuits import vqe_ansatz
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.observables import ising_hamiltonian
+from repro.variational import GradientDescent, energy_of
+
+N = 8
+LAYERS = 2
+
+
+def build(params: np.ndarray):
+    return vqe_ansatz(N, layers=LAYERS, params=params)
+
+
+def main() -> None:
+    ham = ising_hamiltonian(N, j=1.0, g=0.7)
+    print(f"H = {ham}")
+    sim = MemQSim(MemQSimConfig(
+        chunk_qubits=5,
+        compressor="szlike",
+        compressor_options={"error_bound": 1e-8},
+        device=DeviceSpec(memory_bytes=(1 << 7) * 16),
+    ))
+
+    rng = np.random.default_rng(11)
+    params = rng.uniform(0, 2 * math.pi, size=LAYERS * N * 2)
+    e0 = energy_of(build, params, ham, sim)
+    print(f"initial energy: {e0:+.6f}")
+    print("descending with parameter-shift gradients "
+          f"({2 * len(params)} simulations per step)...")
+
+    opt = GradientDescent(learning_rate=0.05, momentum=0.5,
+                          max_iterations=12, tolerance=1e-6)
+    res = opt.minimize(build, params, ham, sim,
+                       callback=lambda it, e: print(f"  iter {it:>2}: {e:+.6f}"))
+    print(f"final energy: {res.energy:+.6f} after {res.iterations} iterations")
+
+    # Reference: exact ground state by dense diagonalization (small n).
+    w = np.linalg.eigvalsh(ham.to_matrix(N))
+    print(f"exact ground state energy: {w[0]:+.6f}")
+    print(f"gap to optimum: {res.energy - w[0]:.4f} "
+          f"(more iterations / a better optimizer close it)")
+
+
+if __name__ == "__main__":
+    main()

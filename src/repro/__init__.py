@@ -1,0 +1,10 @@
+"""MEMQSim reproduction: memory-efficient, modularized state-vector simulation.
+
+Public entry points:
+
+* :class:`repro.circuits.Circuit` and the generators in ``repro.circuits``
+* :class:`repro.statevector.DenseSimulator` — full-memory baseline
+* :class:`repro.core.MemQSim` — the paper's compressed chunked simulator
+"""
+
+__version__ = "1.0.0"

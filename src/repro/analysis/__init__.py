@@ -1,0 +1,18 @@
+"""Analysis helpers: fidelity propagation, reporting, sweeps."""
+
+from .fidelity import GrowthPoint, StateComparison, compare_states, error_growth_profile
+from .report import Table, format_bytes, format_seconds
+from .sweeps import SweepRecord, dense_reference, sweep
+
+__all__ = [
+    "StateComparison",
+    "compare_states",
+    "GrowthPoint",
+    "error_growth_profile",
+    "Table",
+    "format_seconds",
+    "format_bytes",
+    "SweepRecord",
+    "sweep",
+    "dense_reference",
+]

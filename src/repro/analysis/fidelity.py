@@ -1,0 +1,101 @@
+"""Fidelity analysis: how lossy compression error propagates through a run.
+
+Two tools:
+
+* :func:`compare_states` — exact-vs-approximate metrics for two dense
+  vectors (fidelity, l2, max amplitude error, total-variation distance of
+  the induced measurement distributions);
+* :func:`error_growth_profile` — runs MEMQSim checkpointed against the
+  dense simulator gate-prefix by gate-prefix to show how error accumulates
+  with circuit depth for a given error bound (each recompression can add up
+  to ``eb`` per component, so depth matters — the quantitative face of the
+  paper's "frequency of compression" challenge (2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..core.config import MemQSimConfig
+from ..core.memqsim import MemQSim
+from ..statevector.simulator import DenseSimulator
+
+__all__ = ["StateComparison", "compare_states", "error_growth_profile", "GrowthPoint"]
+
+
+@dataclass(frozen=True)
+class StateComparison:
+    """Distance metrics between an exact and an approximate state."""
+
+    fidelity: float
+    l2_error: float
+    max_amp_error: float
+    tv_distance: float  # total variation between outcome distributions
+    norm_exact: float
+    norm_approx: float
+
+    def row(self) -> str:
+        return (
+            f"F={self.fidelity:.10f}  l2={self.l2_error:.3e}  "
+            f"max|da|={self.max_amp_error:.3e}  TV={self.tv_distance:.3e}"
+        )
+
+
+def compare_states(exact: np.ndarray, approx: np.ndarray) -> StateComparison:
+    """Compute all comparison metrics between two dense state vectors."""
+    if exact.shape != approx.shape:
+        raise ValueError("state shapes differ")
+    ne = float(np.linalg.norm(exact))
+    na = float(np.linalg.norm(approx))
+    if ne == 0 or na == 0:
+        raise ValueError("zero-norm state")
+    f = float(abs(np.vdot(exact / ne, approx / na)) ** 2)
+    d = approx - exact
+    pe = np.abs(exact) ** 2 / (ne * ne)
+    pa = np.abs(approx) ** 2 / (na * na)
+    return StateComparison(
+        fidelity=f,
+        l2_error=float(np.linalg.norm(d)),
+        max_amp_error=float(np.max(np.abs(d))) if d.size else 0.0,
+        tv_distance=float(0.5 * np.sum(np.abs(pe - pa))),
+        norm_exact=ne,
+        norm_approx=na,
+    )
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """Error metrics after a prefix of the circuit."""
+
+    gates_executed: int
+    comparison: StateComparison
+
+
+def error_growth_profile(
+    circuit: Circuit,
+    config: MemQSimConfig,
+    checkpoints: Optional[Sequence[int]] = None,
+) -> List[GrowthPoint]:
+    """Fidelity vs executed-gate count for MEMQSim under ``config``.
+
+    Runs each circuit *prefix* from scratch (exact semantics; a resumable
+    variant would hide recompression error between checkpoints).
+    """
+    dense = DenseSimulator()
+    if checkpoints is None:
+        total = len(circuit)
+        steps = max(1, total // 8)
+        checkpoints = list(range(steps, total + 1, steps))
+        if checkpoints[-1] != total:
+            checkpoints.append(total)
+    out: List[GrowthPoint] = []
+    for k in checkpoints:
+        prefix = circuit[:k]
+        exact = dense.run(prefix).data
+        approx = MemQSim(config).run(prefix).statevector()
+        out.append(GrowthPoint(k, compare_states(exact, approx)))
+    return out

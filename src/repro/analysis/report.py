@@ -1,0 +1,74 @@
+"""ASCII table / CSV reporting used by every benchmark harness.
+
+The benchmarks print rows shaped like the paper's artifacts (Table 1's
+strategy x direction grid, the qubit-gain average, ...); this module owns
+the formatting so all of them look alike and can also be dumped as CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence
+
+__all__ = ["Table", "format_seconds", "format_bytes"]
+
+
+def format_seconds(s: float) -> str:
+    """Human scale: ns/us/ms/s with 3 significant figures."""
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s < 1e-6:
+        return f"{s * 1e9:.3g} ns"
+    if s < 1e-3:
+        return f"{s * 1e6:.3g} us"
+    if s < 1.0:
+        return f"{s * 1e3:.3g} ms"
+    return f"{s:.3g} s"
+
+
+def format_bytes(b: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(b) < 1024 or unit == "TiB":
+            return f"{b:.4g} {unit}" if unit != "B" else f"{int(b)} B"
+        b /= 1024
+    return f"{b:.4g} TiB"
+
+
+class Table:
+    """A fixed-column ASCII table with CSV export."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            out.write("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(c.replace(",", ";") for c in row))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

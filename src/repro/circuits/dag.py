@@ -1,0 +1,84 @@
+"""Circuit dependency DAG and layering.
+
+The planner (``repro.pipeline.planner``) schedules gates into chunked stages;
+it needs to know which gates commute trivially (disjoint qubits) so it can
+batch *local* gates together before a *global* gate forces chunk re-pairing.
+This module builds the standard gate-dependency DAG — a gate depends on the
+latest earlier gate sharing any qubit — as a :mod:`networkx` digraph, and
+derives greedy layers from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from .circuit import Circuit
+
+__all__ = ["build_dag", "layers", "critical_path_length", "qubit_interaction_graph"]
+
+
+def build_dag(circuit: Circuit) -> nx.DiGraph:
+    """Return the gate-dependency DAG.
+
+    Node ``i`` is the i-th gate; attributes carry ``gate``. Edge u->v means
+    gate v must run after gate u (they share at least one qubit and v comes
+    later, with no intervening gate on that qubit).
+    """
+    dag = nx.DiGraph()
+    last_on_qubit: Dict[int, int] = {}
+    for i, g in enumerate(circuit):
+        dag.add_node(i, gate=g)
+        preds = set()
+        for q in g.qubits:
+            if q in last_on_qubit:
+                preds.add(last_on_qubit[q])
+        for p in preds:
+            dag.add_edge(p, i)
+        for q in g.qubits:
+            last_on_qubit[q] = i
+    return dag
+
+
+def layers(circuit: Circuit) -> List[List[int]]:
+    """Greedy ASAP layering: gate i goes to layer max(pred layers)+1.
+
+    Equivalent to the depth computation, but returning the layer membership
+    used by the planner to find batches of independent gates.
+    """
+    out: List[List[int]] = []
+    level_of_qubit: Dict[int, int] = {}
+    for i, g in enumerate(circuit):
+        lvl = max((level_of_qubit.get(q, -1) for q in g.qubits), default=-1) + 1
+        while len(out) <= lvl:
+            out.append([])
+        out[lvl].append(i)
+        for q in g.qubits:
+            level_of_qubit[q] = lvl
+    return out
+
+
+def critical_path_length(circuit: Circuit) -> int:
+    """Length of the longest dependency chain (== circuit depth)."""
+    return len(layers(circuit))
+
+
+def qubit_interaction_graph(circuit: Circuit) -> nx.Graph:
+    """Weighted graph of qubit pairs coupled by multi-qubit gates.
+
+    Edge weight counts how many gates couple the pair — the access-pattern
+    fingerprint used by experiment A4.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(circuit.num_qubits))
+    for gate in circuit:
+        qs = gate.qubits
+        for i in range(len(qs)):
+            for j in range(i + 1, len(qs)):
+                a, b = qs[i], qs[j]
+                if g.has_edge(a, b):
+                    g[a][b]["weight"] += 1
+                else:
+                    g.add_edge(a, b, weight=1)
+    return g

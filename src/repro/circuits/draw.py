@@ -1,0 +1,157 @@
+"""ASCII circuit drawer.
+
+Renders a circuit as one wire per qubit with gates placed in dependency
+layers (parallel gates share a column)::
+
+    q0: -[H]--o-----------
+              |
+    q1: -----[X]--o-------
+                  |
+    q2: ---------[X]--[T]-
+
+Conventions: ``o`` marks a control, ``x`` a SWAP endpoint, boxed labels
+mark targets; vertical bars connect the qubits of a multi-qubit gate.
+Stored-diagonal and explicit-unitary gates render as ``[DIAG]``/``[U]``.
+Pure ASCII so it prints anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .circuit import Circuit
+from .dag import layers
+from .gates import Gate
+
+__all__ = ["draw"]
+
+#: named controlled gates: (number of controls, target label or None=param)
+_CONTROLLED = {
+    "cx": (1, "X"), "cy": (1, "Y"), "cz": (1, "Z"), "ch": (1, "H"),
+    "csx": (1, "SX"), "cp": (1, None), "cu1": (1, None), "crx": (1, None),
+    "cry": (1, None), "crz": (1, None), "cu3": (1, None),
+    "ccx": (2, "X"), "ccz": (2, "Z"),
+}
+
+
+def _param_text(g: Gate) -> str:
+    if not g.params:
+        return ""
+    return "(" + ",".join(f"{p:.3g}" for p in g.params) + ")"
+
+
+def _target_label(g: Gate) -> str:
+    if g.diag is not None:
+        return "DIAG"
+    if g.name == "unitary":
+        return "U"
+    if g.name in _CONTROLLED:
+        nc, label = _CONTROLLED[g.name]
+        if label is None:
+            base = g.name[1:].upper() if g.name != "cu1" else "P"
+            return f"{base}{_param_text(g)}"
+        return label
+    return g.name.upper() + _param_text(g)
+
+
+def _cells_for(g: Gate) -> Dict[int, str]:
+    """qubit -> cell text (without the box), plus implicit connectors."""
+    cells: Dict[int, str] = {}
+    if g.name == "swap":
+        a, b = g.qubits
+        cells[a] = "x"
+        cells[b] = "x"
+        return cells
+    if g.name == "cswap":
+        c, a, b = g.qubits
+        cells[c] = "o"
+        cells[a] = "x"
+        cells[b] = "x"
+        return cells
+    if g.name in _CONTROLLED:
+        nc, _ = _CONTROLLED[g.name]
+        for q in g.qubits[:nc]:
+            cells[q] = "o"
+        label = _target_label(g)
+        for q in g.qubits[nc:]:
+            cells[q] = f"[{label}]"
+        return cells
+    label = _target_label(g)
+    for q in g.qubits:
+        cells[q] = f"[{label}]"
+    return cells
+
+
+def draw(circuit: Circuit, max_width: int = 0) -> str:
+    """Render ``circuit`` as ASCII art.
+
+    Args:
+        circuit: the circuit.
+        max_width: wrap onto multiple "staves" after this many characters
+            (0 = never wrap).
+    """
+    n = circuit.num_qubits
+    cols: List[Tuple[int, Dict[int, str], Dict[int, bool]]] = []
+    for layer in layers(circuit):
+        cells: Dict[int, str] = {}
+        connect: Dict[int, bool] = {}  # qubit rows crossed by a connector
+        for gi in layer:
+            g = circuit[gi]
+            gcells = _cells_for(g)
+            cells.update(gcells)
+            if len(g.qubits) > 1:
+                lo, hi = min(g.qubits), max(g.qubits)
+                for q in range(lo, hi + 1):
+                    connect[q] = True
+        width = max((len(c) for c in cells.values()), default=1)
+        cols.append((width, cells, connect))
+
+    label_w = len(f"q{n - 1}: ")
+    wire_rows = [f"q{q}: ".ljust(label_w) for q in range(n)]
+    gap_rows = [" " * label_w for _ in range(n - 1)]
+
+    def emit_column(width: int, cells: Dict[int, str], connect: Dict[int, bool]):
+        for q in range(n):
+            cell = cells.get(q, "")
+            if not cell and connect.get(q, False):
+                cell = "|"  # a multi-qubit gate passes through this wire
+            pad = width - len(cell)
+            left = pad // 2
+            wire_rows[q] += "-" + "-" * left + cell + "-" * (pad - left) + "-"
+        # gap rows: vertical connectors between consecutive involved rows
+        for q in range(n - 1):
+            has_bar = connect.get(q, False) and connect.get(q + 1, False)
+            mid = (width - 1) // 2
+            bar = " " * (1 + mid) + ("|" if has_bar else " ")
+            gap_rows[q] += bar.ljust(width + 2)
+
+    for width, cells, connect in cols:
+        emit_column(width, cells, connect)
+
+    # Weave wire and gap rows; drop all-blank gap rows.
+    out_lines: List[str] = []
+    for q in range(n):
+        out_lines.append(wire_rows[q].rstrip() or wire_rows[q])
+        if q < n - 1 and gap_rows[q].strip():
+            out_lines.append(gap_rows[q].rstrip())
+    text = "\n".join(out_lines)
+    if max_width and any(len(l) > max_width for l in out_lines):
+        return _wrap(out_lines, label_w, max_width)
+    return text
+
+
+def _wrap(lines: List[str], label_w: int, max_width: int) -> str:
+    """Split long renderings into staves of at most ``max_width`` chars."""
+    body_width = max(len(l) for l in lines) - label_w
+    span = max_width - label_w
+    staves = []
+    for start in range(0, body_width, span):
+        part = []
+        for l in lines:
+            label, body = l[:label_w], l[label_w:]
+            seg = body[start:start + span]
+            if not seg.strip() and not label.strip():
+                continue
+            part.append((label if start == 0 else " " * label_w) + seg)
+        staves.append("\n".join(part))
+    return ("\n" + "." * max_width + "\n").join(staves)

@@ -1,0 +1,231 @@
+"""KAK (Cartan) decomposition of arbitrary two-qubit unitaries.
+
+Any ``U ∈ U(4)`` factors as
+
+    U = e^{iα} (A1 ⊗ A0) · exp(i(a·XX + b·YY + c·ZZ)) · (B1 ⊗ B0)
+
+with single-qubit ``A0/A1/B0/B1`` and real interaction coefficients
+``(a, b, c)``. The implementation uses the magic-basis construction:
+in the magic (Bell) basis, ``SU(2)⊗SU(2)`` becomes ``SO(4)`` and the
+canonical interaction becomes diagonal, so the problem reduces to the
+simultaneous real diagonalization of the complex symmetric matrix
+``V^T V`` (random-mixing trick for degenerate spectra) plus bookkeeping
+of determinant branches — the residual global phase is solved jointly
+with ``(a, b, c)`` from the diagonal phases.
+
+The decomposition is verified against the input before returning
+(reconstruction error < 1e-9) and retried with fresh mixing angles on the
+rare degenerate failure, so callers never receive a silently-wrong result.
+
+``decompose_two_qubit`` turns the factorization into gates
+(1q unitaries + rxx/ryy/rzz, each of which the transpiler lowers to 2 CX),
+completing :func:`repro.circuits.transpile.decompose_to_natives` for
+iSWAP/fSim/quantum-volume/user matrices.
+"""
+
+from __future__ import annotations
+
+import cmath
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import gate_matrix
+
+__all__ = ["KakDecomposition", "kak_decompose", "decompose_two_qubit"]
+
+_SQ2 = np.sqrt(2.0)
+#: the magic basis (columns are Bell-like states)
+_MAGIC = np.array(
+    [
+        [1, 0, 0, 1j],
+        [0, 1j, 1, 0],
+        [0, 1j, -1, 0],
+        [1, 0, 0, -1j],
+    ],
+    dtype=complex,
+) / _SQ2
+_MAGIC_DAG = _MAGIC.conj().T
+
+_XX = np.kron(gate_matrix("x"), gate_matrix("x"))
+_YY = np.kron(gate_matrix("y"), gate_matrix("y"))
+_ZZ = np.kron(gate_matrix("z"), gate_matrix("z"))
+
+# Diagonals of XX/YY/ZZ in the magic basis (they are diagonal there);
+# stacked as the 4x3 system matrix G with phi = alpha*1 + G @ (a, b, c).
+_G = np.column_stack(
+    [
+        np.real(np.diag(_MAGIC_DAG @ m @ _MAGIC))
+        for m in (_XX, _YY, _ZZ)
+    ]
+)
+_SOLVE = np.linalg.pinv(np.column_stack([np.ones(4), _G]))
+
+
+class DecompositionError(ValueError):
+    """The decomposition failed to verify (should not happen in practice)."""
+
+
+@dataclass(frozen=True)
+class KakDecomposition:
+    """``U = e^{iα} (A1⊗A0) · exp(i(a XX + b YY + c ZZ)) · (B1⊗B0)``."""
+
+    global_phase: float
+    a1: np.ndarray
+    a0: np.ndarray
+    b1: np.ndarray
+    b0: np.ndarray
+    interaction: Tuple[float, float, float]
+
+    def unitary(self) -> np.ndarray:
+        """Reconstruct the 4x4 matrix (little-endian: q0 = LSB axis)."""
+        a, b, c = self.interaction
+        canonical = _expm_canonical(a, b, c)
+        return (
+            cmath.exp(1j * self.global_phase)
+            * np.kron(self.a1, self.a0)
+            @ canonical
+            @ np.kron(self.b1, self.b0)
+        )
+
+
+def _expm_canonical(a: float, b: float, c: float) -> np.ndarray:
+    """exp(i(a XX + b YY + c ZZ)) — the generators commute, so a product."""
+    out = np.eye(4, dtype=complex)
+    for coef, m in ((a, _XX), (b, _YY), (c, _ZZ)):
+        w, v = np.linalg.eigh(m)
+        out = out @ (v * np.exp(1j * coef * w)) @ v.conj().T
+    return out
+
+
+def _nearest_kron_factors(m: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor an exact tensor product ``m = m1 ⊗ m0`` (2x2 each).
+
+    Uses the rank-1 structure of the reshuffled matrix; valid because the
+    magic-basis construction guarantees ``m`` *is* a tensor product.
+    """
+    r = m.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    u, s, vh = np.linalg.svd(r)
+    if s[1] > 1e-6:
+        raise DecompositionError("matrix is not a tensor product")
+    m1 = (u[:, 0] * np.sqrt(s[0])).reshape(2, 2)
+    m0 = (vh[0, :] * np.sqrt(s[0])).reshape(2, 2)
+    # Normalize phases so both factors are unitary with det handled jointly.
+    d1 = np.linalg.det(m1)
+    if abs(d1) > 1e-12:
+        m1 = m1 / np.sqrt(d1)
+        m0 = m0 * np.sqrt(d1)
+    return m1, m0
+
+
+def _simultaneous_orthogonal_eigvecs(t: np.ndarray, rng: np.random.Generator):
+    """Real orthogonal P with P^T t P diagonal (t complex symmetric unitary)."""
+    x, y = t.real, t.imag
+    for _ in range(24):
+        theta = rng.uniform(0, np.pi)
+        _, p = np.linalg.eigh(np.cos(theta) * x + np.sin(theta) * y)
+        d = p.T @ t @ p
+        if np.allclose(d, np.diag(np.diag(d)), atol=1e-10):
+            return p
+    raise DecompositionError("failed to diagonalize V^T V")
+
+
+def kak_decompose(u: np.ndarray, atol: float = 1e-9) -> KakDecomposition:
+    """Decompose a 4x4 unitary; raises :class:`DecompositionError` on
+    verification failure (with internal retries over mixing angles)."""
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (4, 4):
+        raise ValueError("expected a 4x4 matrix")
+    if not np.allclose(u @ u.conj().T, np.eye(4), atol=1e-9):
+        raise ValueError("matrix is not unitary")
+    det = np.linalg.det(u)
+    alpha0 = cmath.phase(det) / 4.0
+    u_su = u * cmath.exp(-1j * alpha0)
+    rng = np.random.default_rng(7)
+    last_exc: Exception = DecompositionError("unreachable")
+    for _attempt in range(8):
+        try:
+            return _kak_once(u, u_su, alpha0, rng, atol)
+        except DecompositionError as exc:
+            last_exc = exc
+    raise last_exc
+
+
+def _kak_once(u, u_su, alpha0, rng, atol) -> KakDecomposition:
+    v = _MAGIC_DAG @ u_su @ _MAGIC
+    t = v.T @ v
+    p = _simultaneous_orthogonal_eigvecs(t, rng)
+    if np.linalg.det(p) < 0:
+        p = p.copy()
+        p[:, 0] = -p[:, 0]
+    d2 = np.diag(p.T @ t @ p)
+    phi = 0.5 * np.angle(d2)
+    delta = np.exp(1j * phi)
+    k1 = v @ p @ np.diag(np.exp(-1j * phi))
+    if np.max(np.abs(k1.imag)) > 1e-7:
+        raise DecompositionError("K1 not real — eigenvalue branch mismatch")
+    k1 = k1.real
+    if np.linalg.det(k1) < 0:
+        # Flip one phase branch: flips the matching K1 column, keeps V.
+        phi = phi.copy()
+        phi[0] += np.pi
+        delta = np.exp(1j * phi)
+        k1 = (v @ p @ np.diag(np.exp(-1j * phi))).real
+    # phi = alpha*1 + G (a, b, c): solve jointly for the residual phase.
+    coeffs = _SOLVE @ phi
+    alpha_mid, (a, b, c) = float(coeffs[0]), coeffs[1:]
+    a_mat = _MAGIC @ k1 @ _MAGIC_DAG
+    b_mat = _MAGIC @ p.T @ _MAGIC_DAG
+    a1, a0 = _nearest_kron_factors(a_mat)
+    b1, b0 = _nearest_kron_factors(b_mat)
+    dec = KakDecomposition(
+        global_phase=alpha0 + alpha_mid,
+        a1=a1, a0=a0, b1=b1, b0=b0,
+        interaction=(float(a), float(b), float(c)),
+    )
+    rec = dec.unitary()
+    # Allow a residual global phase from the Kronecker factor normalization.
+    ov = np.trace(rec.conj().T @ u) / 4.0
+    if abs(abs(ov) - 1.0) > atol * 10:
+        raise DecompositionError(
+            f"reconstruction mismatch (|overlap|={abs(ov):.12f})"
+        )
+    extra = cmath.phase(ov)
+    dec = KakDecomposition(
+        global_phase=dec.global_phase + extra,
+        a1=a1, a0=a0, b1=b1, b0=b0,
+        interaction=dec.interaction,
+    )
+    if np.max(np.abs(dec.unitary() - u)) > max(atol * 100, 1e-8):
+        raise DecompositionError("reconstruction failed verification")
+    return dec
+
+
+def decompose_two_qubit(u: np.ndarray, q0: int, q1: int,
+                        num_qubits: int) -> Circuit:
+    """Emit a circuit computing ``u`` on qubits ``(q0, q1)``.
+
+    ``u`` follows the gate convention: ``q0`` is the least significant
+    axis. Output uses 1q unitaries + rxx/ryy/rzz (+ gphase); pass the
+    result through :func:`~repro.circuits.transpile.decompose_to_natives`
+    for a pure {1q, cx} form (≤ 6 CX).
+    """
+    dec = kak_decompose(u)
+    a, b, c = dec.interaction
+    out = Circuit(num_qubits)
+    out.unitary(dec.b0, q0)
+    out.unitary(dec.b1, q1)
+    # exp(i k P⊗P) = rpp(-2k) since rpp(theta) = exp(-i theta/2 P⊗P)
+    if abs(a) > 1e-12:
+        out.rxx(-2.0 * a, q0, q1)
+    if abs(b) > 1e-12:
+        out.ryy(-2.0 * b, q0, q1)
+    if abs(c) > 1e-12:
+        out.rzz(-2.0 * c, q0, q1)
+    out.unitary(dec.a0, q0)
+    out.unitary(dec.a1, q1)
+    if abs(dec.global_phase) > 1e-12:
+        out.add("gphase", q0, params=(dec.global_phase,))
+    return out

@@ -1,0 +1,289 @@
+"""OpenQASM 2.0 subset emitter and parser.
+
+Supports the gates in :data:`repro.circuits.gates.GATE_SET` (everything the
+IR names), one quantum register, constant-expression parameters (numbers,
+``pi``, ``+-*/``, parentheses, unary minus), and **custom gate
+definitions** — ``gate name(p0,p1) a,b { ... }`` blocks are macro-expanded
+at call sites, with parameter expressions evaluated in the caller's scope
+(so ``rz(theta/2) a;`` inside a definition works). ``measure``/``creg``/
+``barrier``/``reset`` lines are accepted by the parser and ignored — the IR
+is purely unitary.
+
+Gates carrying explicit matrices or stored diagonals have no QASM form and
+raise on export.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import GATE_SET
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input or unexportable circuits."""
+
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+#: recursion guard for nested custom-gate expansion
+_MAX_EXPANSION_DEPTH = 32
+
+
+def to_qasm(circuit: Circuit, qreg: str = "q", decompose: bool = False) -> str:
+    """Serialize ``circuit`` to OpenQASM 2.0 text.
+
+    With ``decompose=True``, gates without a QASM form (explicit unitaries,
+    <=2-qubit stored diagonals) are first lowered through the transpiler
+    (KAK + ZYZ + diagonal synthesis); only wide stored diagonals remain
+    unexportable.
+    """
+    if decompose:
+        from .transpile import decompose_to_natives
+
+        circuit = decompose_to_natives(circuit)
+    lines: List[str] = [_HEADER.rstrip("\n"), f"qreg {qreg}[{circuit.num_qubits}];"]
+    for g in circuit:
+        if g.name in ("unitary", "diagonal") or g.name not in GATE_SET:
+            raise QasmError(
+                f"gate {g.name!r} has no OpenQASM 2.0 representation"
+                + ("" if decompose else " (try decompose=True)")
+            )
+        params = f"({','.join(_fmt_param(p) for p in g.params)})" if g.params else ""
+        qs = ",".join(f"{qreg}[{q}]" for q in g.qubits)
+        lines.append(f"{g.name}{params} {qs};")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_param(p: float) -> str:
+    # Emit exact multiples of pi readably; fall back to repr.
+    if p == 0.0:
+        return "0"
+    ratio = p / math.pi
+    for denom in (1, 2, 3, 4, 6, 8, 16, 32, 64):
+        num = ratio * denom
+        if abs(num - round(num)) < 1e-12 and abs(num) < 1e6:
+            num = int(round(num))
+            if num == 0:
+                return "0"
+            sign = "-" if num < 0 else ""
+            num = abs(num)
+            top = "pi" if num == 1 else f"{num}*pi"
+            return f"{sign}{top}" if denom == 1 else f"{sign}{top}/{denom}"
+    return repr(p)
+
+
+class _ExprEval(ast.NodeVisitor):
+    """Safe constant-expression evaluator for QASM parameters."""
+
+    def __init__(self, env: Optional[Dict[str, float]] = None):
+        self.env = env or {}
+
+    def visit(self, node):  # noqa: D102 - dispatch
+        if isinstance(node, ast.Expression):
+            return self.visit(node.body)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)):
+                return float(node.value)
+            raise QasmError(f"bad constant {node.value!r}")
+        if isinstance(node, ast.Name):
+            if node.id == "pi":
+                return math.pi
+            if node.id in self.env:
+                return self.env[node.id]
+            raise QasmError(f"unknown identifier {node.id!r}")
+        if isinstance(node, ast.UnaryOp):
+            v = self.visit(node.operand)
+            if isinstance(node.op, ast.USub):
+                return -v
+            if isinstance(node.op, ast.UAdd):
+                return v
+            raise QasmError("bad unary operator")
+        if isinstance(node, ast.BinOp):
+            a, b = self.visit(node.left), self.visit(node.right)
+            if isinstance(node.op, ast.Add):
+                return a + b
+            if isinstance(node.op, ast.Sub):
+                return a - b
+            if isinstance(node.op, ast.Mult):
+                return a * b
+            if isinstance(node.op, ast.Div):
+                return a / b
+            if isinstance(node.op, ast.Pow):
+                return a**b
+            raise QasmError("bad binary operator")
+        raise QasmError(f"unsupported expression node {type(node).__name__}")
+
+
+def _eval_param(text: str, env: Optional[Dict[str, float]] = None) -> float:
+    try:
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {text!r}") from exc
+    return float(_ExprEval(env).visit(tree))
+
+
+@dataclass(frozen=True)
+class _GateDef:
+    """A parsed ``gate`` block."""
+
+    name: str
+    param_names: Tuple[str, ...]
+    arg_names: Tuple[str, ...]
+    #: body statements: (gate name, [param exprs], [arg names])
+    body: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...]
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z_0-9]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]+);$"
+)
+_QREG_RE = re.compile(r"^qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;$")
+_ARG_RE = re.compile(r"^(?P<reg>\w+)\s*\[\s*(?P<idx>\d+)\s*\]$")
+_GATEDEF_RE = re.compile(
+    r"gate\s+(?P<name>[a-zA-Z_]\w*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[a-zA-Z_][\w\s,]*)\s*"
+    r"\{(?P<body>[^}]*)\}",
+    re.DOTALL,
+)
+_CALL_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_]\w*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>[^;]*)$"
+)
+
+
+def _parse_gate_defs(text: str) -> Tuple[str, Dict[str, _GateDef]]:
+    """Extract ``gate ... { ... }`` blocks; return (remaining text, defs)."""
+    defs: Dict[str, _GateDef] = {}
+
+    def grab(m: re.Match) -> str:
+        name = m.group("name").lower()
+        if name in GATE_SET:
+            raise QasmError(f"gate definition shadows built-in {name!r}")
+        params = tuple(
+            p.strip() for p in (m.group("params") or "").split(",") if p.strip()
+        )
+        args = tuple(a.strip() for a in m.group("args").split(",") if a.strip())
+        if len(set(args)) != len(args):
+            raise QasmError(f"duplicate argument names in gate {name!r}")
+        body = []
+        for stmt in m.group("body").split(";"):
+            stmt = stmt.strip()
+            if not stmt:
+                continue
+            cm = _CALL_RE.match(stmt)
+            if not cm:
+                raise QasmError(f"cannot parse gate-body statement {stmt!r}")
+            bparams = tuple(
+                p.strip() for p in (cm.group("params") or "").split(",")
+                if p.strip()
+            )
+            bargs = tuple(a.strip() for a in cm.group("args").split(",") if a.strip())
+            unknown = [a for a in bargs if a not in args]
+            if unknown:
+                raise QasmError(
+                    f"gate {name!r} body uses undeclared qubits {unknown}"
+                )
+            body.append((cm.group("name").lower(), bparams, bargs))
+        defs[name] = _GateDef(name, params, args, tuple(body))
+        return " "  # remove the block from the stream
+
+    remaining = _GATEDEF_RE.sub(grab, text)
+    return remaining, defs
+
+
+def _expand_call(
+    name: str,
+    params: List[float],
+    qubits: List[int],
+    defs: Dict[str, _GateDef],
+    depth: int = 0,
+) -> List[Tuple[str, List[int], List[float]]]:
+    """Expand a (possibly custom) gate call into primitive gate tuples."""
+    if depth > _MAX_EXPANSION_DEPTH:
+        raise QasmError(f"gate expansion too deep (cycle through {name!r}?)")
+    if name in GATE_SET:
+        return [(name, qubits, params)]
+    if name not in defs:
+        raise QasmError(f"unknown gate {name!r}")
+    d = defs[name]
+    if len(params) != len(d.param_names):
+        raise QasmError(
+            f"gate {name!r} expects {len(d.param_names)} params, got {len(params)}"
+        )
+    if len(qubits) != len(d.arg_names):
+        raise QasmError(
+            f"gate {name!r} expects {len(d.arg_names)} qubits, got {len(qubits)}"
+        )
+    env = dict(zip(d.param_names, params))
+    qmap = dict(zip(d.arg_names, qubits))
+    out: List[Tuple[str, List[int], List[float]]] = []
+    for bname, bparams, bargs in d.body:
+        vals = [_eval_param(p, env) for p in bparams]
+        qs = [qmap[a] for a in bargs]
+        out.extend(_expand_call(bname, vals, qs, defs, depth + 1))
+    return out
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text into a :class:`Circuit`."""
+    qreg_name = None
+    num_qubits = 0
+    gates: List[Tuple[str, List[int], List[float]]] = []
+    # Strip comments, lift gate definitions, then split on semicolons.
+    text = re.sub(r"//[^\n]*", "", text)
+    text, defs = _parse_gate_defs(text)
+    statements = [s.strip() for s in text.replace("\n", " ").split(";")]
+    for stmt in statements:
+        if not stmt:
+            continue
+        stmt = stmt + ";"
+        low = stmt.lower()
+        if low.startswith("openqasm") or low.startswith("include"):
+            continue
+        if low.startswith(("creg", "barrier", "measure", "reset")):
+            continue
+        m = _QREG_RE.match(stmt)
+        if m:
+            if qreg_name is not None:
+                raise QasmError("multiple qreg declarations are not supported")
+            qreg_name = m.group("name")
+            num_qubits = int(m.group("size"))
+            continue
+        m = _GATE_RE.match(stmt)
+        if not m:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        name = m.group("name").lower()
+        if name not in GATE_SET and name not in defs:
+            raise QasmError(f"unknown gate {name!r}")
+        if qreg_name is None:
+            raise QasmError("gate before qreg declaration")
+        params = []
+        if m.group("params"):
+            params = [_eval_param(p) for p in m.group("params").split(",")]
+        qubits = []
+        for arg in m.group("args").split(","):
+            am = _ARG_RE.match(arg.strip())
+            if not am:
+                raise QasmError(f"cannot parse qubit argument {arg!r}")
+            if am.group("reg") != qreg_name:
+                raise QasmError(f"unknown register {am.group('reg')!r}")
+            idx = int(am.group("idx"))
+            if idx >= num_qubits:
+                raise QasmError(f"qubit index {idx} out of range")
+            qubits.append(idx)
+        gates.extend(_expand_call(name, params, qubits, defs))
+    if qreg_name is None:
+        raise QasmError("no qreg declaration found")
+    c = Circuit(num_qubits)
+    for name, qubits, params in gates:
+        c.add(name, *qubits, params=params)
+    return c

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate a named workload (or an OpenQASM file) with MEMQSim
+  and print the result report; optionally sample, save a checkpoint, or
+  compare against the dense baseline.
+* ``workloads`` — list the registered workload generators.
+* ``compressors`` — list registered codecs, optionally evaluating them on
+  a workload's state vector.
+* ``plan`` — show the offline stage plan for a workload at a given layout.
+
+Examples::
+
+    python -m repro run qft -n 14 --compressor szlike --error-bound 1e-6
+    python -m repro run --qasm circuit.qasm --shots 1000
+    python -m repro compressors --evaluate qft -n 12
+    python -m repro plan grover -n 12 --chunk-qubits 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import Table, format_bytes, format_seconds
+from .circuits import WORKLOADS, from_qasm, get_workload
+from .compression import available_compressors, evaluate_compressor, get_compressor
+from .core import MemQSim, MemQSimConfig
+from .device import DeviceSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="MEMQSim: memory-efficient quantum state-vector simulation",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser("run", help="simulate a workload or QASM file")
+    runp.add_argument("workload", nargs="?", help=f"one of {sorted(WORKLOADS)}")
+    runp.add_argument("--qasm", help="OpenQASM 2.0 file to simulate instead")
+    runp.add_argument("-n", "--qubits", type=int, default=12)
+    runp.add_argument("--compressor", default="szlike",
+                      help="codec name (see `compressors`)")
+    runp.add_argument("--error-bound", type=float, default=1e-6)
+    runp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    runp.add_argument("--autotune", action="store_true",
+                      help="probe chunk sizes on a circuit prefix first")
+    runp.add_argument("--transfer", default="sync",
+                      choices=["sync", "async", "buffer"])
+    runp.add_argument("--device-mb", type=float, default=256.0,
+                      help="simulated device memory (MiB)")
+    runp.add_argument("--offload", type=float, default=0.0,
+                      help="CPU offload fraction [0,1]")
+    runp.add_argument("--fuse", action="store_true", help="fuse 1q gate runs")
+    runp.add_argument("--cache-chunks", type=int, default=0,
+                      help="decompressed-chunk cache capacity (0 = off)")
+    runp.add_argument("--cache-policy", default="mru", choices=["lru", "mru"])
+    runp.add_argument("--devices", type=int, default=1,
+                      help="simulated device count")
+    runp.add_argument("--shots", type=int, default=0, help="sample this many shots")
+    runp.add_argument("--seed", type=int, default=None)
+    runp.add_argument("--save-state", help="write a compressed checkpoint here")
+    runp.add_argument("--checkpoint", help="resume from this checkpoint")
+    runp.add_argument("--compare-dense", action="store_true",
+                      help="also run the dense baseline and report fidelity")
+
+    sub.add_parser("workloads", help="list workload generators")
+
+    comp = sub.add_parser("compressors", help="list / evaluate codecs")
+    comp.add_argument("--evaluate", metavar="WORKLOAD",
+                      help="evaluate all codecs on this workload's state")
+    comp.add_argument("-n", "--qubits", type=int, default=12)
+
+    planp = sub.add_parser("plan", help="show the offline stage plan")
+    planp.add_argument("workload")
+    planp.add_argument("-n", "--qubits", type=int, default=12)
+    planp.add_argument("--chunk-qubits", type=int, default=6)
+    planp.add_argument("--max-group", type=int, default=2)
+    return p
+
+
+def _load_circuit(args):
+    if args.qasm:
+        with open(args.qasm) as fh:
+            return from_qasm(fh.read())
+    if not args.workload:
+        raise SystemExit("run: provide a workload name or --qasm FILE")
+    return get_workload(args.workload, args.qubits)
+
+
+def _cmd_run(args) -> int:
+    circuit = _load_circuit(args)
+    opts = {}
+    if args.compressor in ("szlike", "adaptive"):
+        opts["error_bound"] = args.error_bound
+    cfg = MemQSimConfig(
+        chunk_qubits=args.chunk_qubits,
+        compressor=args.compressor,
+        compressor_options=opts,
+        transfer=args.transfer,
+        device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        cpu_offload_fraction=args.offload,
+        fuse_gates=args.fuse,
+        cache_chunks=args.cache_chunks,
+        cache_policy=args.cache_policy,
+        num_devices=args.devices,
+    )
+    if args.autotune:
+        from .pipeline import autotune_chunk_qubits
+
+        rep = autotune_chunk_qubits(circuit, cfg)
+        print("autotune probe:")
+        print(rep.table())
+        cfg = cfg.with_updates(chunk_qubits=rep.best_chunk_qubits)
+    res = MemQSim(cfg).run(circuit, checkpoint=args.checkpoint)
+    print(res.report())
+    if args.shots:
+        counts = res.sample(args.shots, seed=args.seed)
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
+        print("\ntop outcomes:")
+        for bits, cnt in top:
+            print(f"  |{bits}>  {cnt}")
+    if args.compare_dense:
+        if circuit.num_qubits > 20:
+            print("\n(dense comparison skipped: too many qubits)")
+        else:
+            from .statevector import DenseSimulator
+
+            ref = DenseSimulator().run(circuit)
+            print(f"\nfidelity vs dense: {res.fidelity_vs(ref.data):.12f}")
+    if args.save_state:
+        nb = res.save_state(args.save_state)
+        print(f"\ncheckpoint written: {args.save_state} ({format_bytes(nb)})")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    t = Table(["name", "example (n=8)"], title="registered workloads")
+    for name in sorted(WORKLOADS):
+        c = get_workload(name, 8)
+        t.add(name, f"{len(c)} gates, depth {c.depth()}")
+    print(t.render())
+    return 0
+
+
+def _cmd_compressors(args) -> int:
+    if not args.evaluate:
+        t = Table(["name", "kind"], title="registered compressors")
+        for name in available_compressors():
+            comp = get_compressor(name)
+            t.add(name, "lossy" if comp.is_lossy else "lossless")
+        print(t.render())
+        return 0
+    from .statevector import DenseSimulator
+
+    sv = DenseSimulator().run(get_workload(args.evaluate, args.qubits)).data
+    t = Table(["codec", "ratio", "max err", "compress", "decompress"],
+              title=f"codecs on {args.evaluate} (n={args.qubits})")
+    for name in available_compressors():
+        rep = evaluate_compressor(get_compressor(name), sv)
+        t.add(rep.compressor, f"{rep.ratio:.1f}x", f"{rep.max_error:.1e}",
+              format_seconds(rep.compress_seconds),
+              format_seconds(rep.decompress_seconds))
+    print(t.render())
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .memory import ChunkLayout
+    from .pipeline import describe_plan, plan_stages
+
+    circuit = get_workload(args.workload, args.qubits)
+    layout = ChunkLayout(args.qubits, args.chunk_qubits)
+    stages = plan_stages(circuit, layout, args.max_group)
+    rep = describe_plan(stages, layout)
+    print(f"{args.workload} n={args.qubits}: {rep.gates_total} gates -> "
+          f"{rep.num_stages} stages ({rep.num_local_stages} local, "
+          f"{rep.num_permutation_stages} permutation), "
+          f"{rep.group_passes} group passes")
+    for i, s in enumerate(stages[:30]):
+        print(f"  {i:>3}: {s!r}")
+    if len(stages) > 30:
+        print(f"  ... {len(stages) - 30} more stages")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "workloads": _cmd_workloads,
+        "compressors": _cmd_compressors,
+        "plan": _cmd_plan,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (head, less) closed the pipe — normal exit.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Compression subsystem: SZ-like lossy, lossless backends, metrics, registry."""
+
+from .adaptive import AdaptiveCompressor
+from .blockfloat import BlockFloatCompressor
+from .cast import CastCompressor
+from .interface import (
+    Compressor,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from .lossless import Bz2Compressor, LzmaCompressor, NullCompressor, ZlibCompressor
+from .metrics import (
+    CompressionReport,
+    compression_ratio,
+    evaluate_compressor,
+    fidelity_floor,
+    max_component_error,
+    norm_error_bound,
+    psnr,
+)
+from .quantizer import dequantize, quantize, resolve_error_bound, unzigzag, zigzag
+from .sparse import SparseCompressor
+from .szlike import SZLikeCompressor
+
+__all__ = [
+    "Compressor",
+    "register_compressor",
+    "get_compressor",
+    "available_compressors",
+    "SZLikeCompressor",
+    "BlockFloatCompressor",
+    "SparseCompressor",
+    "ZlibCompressor",
+    "LzmaCompressor",
+    "Bz2Compressor",
+    "NullCompressor",
+    "CastCompressor",
+    "AdaptiveCompressor",
+    "CompressionReport",
+    "evaluate_compressor",
+    "compression_ratio",
+    "max_component_error",
+    "psnr",
+    "norm_error_bound",
+    "fidelity_floor",
+    "quantize",
+    "dequantize",
+    "resolve_error_bound",
+    "zigzag",
+    "unzigzag",
+]

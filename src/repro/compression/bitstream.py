@@ -1,0 +1,140 @@
+"""Bit-level I/O used by the canonical Huffman coder.
+
+:class:`BitWriter` accumulates variable-width big-endian bit fields into a
+``bytearray``; :class:`BitReader` plays them back. Both are deliberately
+simple (per-call Python) — bulk symbol streams go through the *vectorized*
+pack/unpack helpers, which operate on whole numpy arrays at once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader", "pack_codes", "unpack_bits", "unpack_fields"]
+
+
+class BitWriter:
+    """Accumulates big-endian bit fields; MSB of each field written first."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        if nbits < 0 or (nbits and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buf.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buf) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final byte) and return the bytes."""
+        out = bytearray(self._buf)
+        if self._nbits:
+            out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads big-endian bit fields written by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read(self, nbits: int) -> int:
+        if nbits < 0 or nbits > self.bits_remaining:
+            raise ValueError("read past end of bitstream")
+        out = 0
+        pos = self._pos
+        for _ in range(nbits):
+            byte = self._data[pos >> 3]
+            bit = (byte >> (7 - (pos & 7))) & 1
+            out = (out << 1) | bit
+            pos += 1
+        self._pos = pos
+        return out
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> Tuple[bytes, int]:
+    """Vectorized: concatenate per-symbol codewords into a packed bit buffer.
+
+    Args:
+        codes: uint64 array, codeword value of each symbol (MSB-first).
+        lengths: uint8 array, bit length of each codeword (1..56).
+
+    Returns:
+        (packed bytes, total bit count).
+    """
+    n = codes.shape[0]
+    if n == 0:
+        return b"", 0
+    max_len = int(lengths.max())
+    # Bit matrix: row i holds the top `max_len` bits of codeword i,
+    # MSB-aligned; bits beyond lengths[i] are masked off afterwards.
+    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
+    bits = ((codes[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    # A right-aligned codeword of length L occupies the last L of the
+    # max_len columns; everything before is padding to mask off.
+    col = np.arange(max_len, dtype=np.int64)[None, :]
+    valid = col >= (max_len - lengths[:, None].astype(np.int64))
+    flat = bits[valid]
+    total_bits = int(flat.shape[0])
+    packed = np.packbits(flat)
+    return packed.tobytes(), total_bits
+
+
+def unpack_bits(data: bytes, total_bits: int) -> np.ndarray:
+    """Vectorized: expand packed bytes to a uint8 0/1 array of total_bits."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    return bits[:total_bits]
+
+
+def unpack_fields(data: bytes, lengths: np.ndarray) -> np.ndarray:
+    """Vectorized inverse of :func:`pack_codes` for *known* field widths.
+
+    Args:
+        data: packed bytes.
+        lengths: uint8 array of per-field bit widths (0..56).
+
+    Returns:
+        uint64 array of the field values.
+    """
+    n = lengths.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    lengths = lengths.astype(np.int64)
+    total = int(lengths.sum())
+    bits = unpack_bits(data, total).astype(np.uint64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    max_len = int(lengths.max()) if n else 0
+    out = np.zeros(n, dtype=np.uint64)
+    if max_len == 0:
+        return out
+    # Column j holds bit j of each field counted from the MSB side.
+    col = np.arange(max_len, dtype=np.int64)
+    pos = starts[:, None] + col[None, :]
+    valid = col[None, :] < lengths[:, None]
+    vals = np.where(valid, bits[np.minimum(pos, total - 1)], 0)
+    # Accumulate MSB-first: out = ((out << 1) | bit) per valid column.
+    shifts = (lengths[:, None] - 1 - col[None, :])
+    shifts = np.where(valid, shifts, 0).astype(np.uint64)
+    out = np.sum(np.where(valid, vals << shifts, np.uint64(0)), axis=1,
+                 dtype=np.uint64)
+    return out

@@ -1,0 +1,61 @@
+"""Precision-cast lossy compressor: complex128 -> complex64 (+ zlib).
+
+A trivially fast lossy baseline for the compressor comparison (A2): halves
+the footprint by construction, with a *relative* error floor set by float32
+precision. Amplitudes in quantum state vectors lie in the unit disc, so an
+absolute per-component bound can be stated: float32 rounding of a value
+``|x| <= 1`` errs by at most ``2^-24``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from .interface import Compressor, register_compressor
+
+__all__ = ["CastCompressor"]
+
+_MAGIC = b"CST1"
+
+#: per-component absolute bound for amplitudes bounded by 1 in magnitude
+_F32_UNIT_EPS = 2.0**-24
+
+
+class CastCompressor(Compressor):
+    """Lossy downcast to complex64, then zlib on the raw bytes."""
+
+    name = "cast"
+
+    def __init__(self, level: int = 1):
+        self.level = int(level)
+
+    @property
+    def is_lossy(self) -> bool:
+        return True
+
+    @property
+    def error_bound(self) -> float:
+        return _F32_UNIT_EPS
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.ascontiguousarray(data, dtype=np.complex128)
+        low = data.astype(np.complex64)
+        return (
+            _MAGIC
+            + struct.pack("<Q", data.shape[0])
+            + zlib.compress(low.tobytes(), self.level)
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a cast blob")
+        (n,) = struct.unpack_from("<Q", blob, 4)
+        raw = zlib.decompress(blob[12:])
+        low = np.frombuffer(raw, dtype=np.complex64, count=n)
+        return low.astype(np.complex128)
+
+
+register_compressor("cast", lambda level=1, **_: CastCompressor(level=level))

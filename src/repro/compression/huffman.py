@@ -1,0 +1,188 @@
+"""Canonical Huffman coding over integer symbol streams.
+
+The SZ-style pipeline entropy-codes quantization codes. This module builds a
+canonical Huffman code from symbol frequencies, encodes with the vectorized
+bit packer, and decodes with a finite-state byte machine:
+
+* **Encode** is fully vectorized: per-symbol (code, length) lookup via
+  ``np.take`` + :func:`repro.compression.bitstream.pack_codes`.
+* **Decode** walks the packed bits through a flattened two-child node table.
+  The walk is per-bit but runs over a numpy bit array with a preallocated
+  output buffer — acceptable for the chunk sizes the store uses, and exact.
+
+The serialized form is: symbol table (sorted unique symbols as int64) +
+canonical code lengths (uint8 per symbol) + bit count + packed bits, so the
+decoder rebuilds the exact code without transmitting the tree shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bitstream import pack_codes, unpack_bits
+
+__all__ = ["HuffmanCode", "encode", "decode"]
+
+_MAX_CODE_LEN = 56  # fits in the uint64 packer
+
+
+class HuffmanCode:
+    """A canonical Huffman code over a finite integer alphabet."""
+
+    def __init__(self, symbols: np.ndarray, lengths: np.ndarray):
+        """Build canonical codewords from (symbol, length) pairs.
+
+        ``symbols`` must be sorted ascending and unique; ``lengths`` are the
+        Huffman code lengths. Canonical assignment orders by (length, symbol).
+        """
+        self.symbols = np.asarray(symbols, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.uint8)
+        if self.symbols.shape != self.lengths.shape:
+            raise ValueError("symbols and lengths must align")
+        order = np.lexsort((self.symbols, self.lengths))
+        codes = np.zeros(len(self.symbols), dtype=np.uint64)
+        code = 0
+        prev_len = 0
+        for rank in order:
+            length = int(self.lengths[rank])
+            code <<= length - prev_len
+            codes[rank] = code
+            code += 1
+            prev_len = length
+        self.codes = codes
+        # Kraft check: a valid code exhausts at most the unit interval.
+        kraft = float(np.sum(2.0 ** (-self.lengths.astype(np.float64))))
+        if kraft > 1.0 + 1e-9:
+            raise ValueError(f"invalid code: Kraft sum {kraft} > 1")
+
+    @classmethod
+    def from_frequencies(cls, symbols: np.ndarray, freqs: np.ndarray) -> "HuffmanCode":
+        """Standard Huffman construction via a heap of (weight, id) pairs."""
+        symbols = np.asarray(symbols, dtype=np.int64)
+        freqs = np.asarray(freqs, dtype=np.int64)
+        k = len(symbols)
+        if k == 0:
+            raise ValueError("empty alphabet")
+        if k == 1:
+            return cls(symbols, np.array([1], dtype=np.uint8))
+        heap: List[Tuple[int, int]] = [(int(f), i) for i, f in enumerate(freqs)]
+        heapq.heapify(heap)
+        parent: Dict[int, int] = {}
+        next_id = k
+        while len(heap) > 1:
+            fa, a = heapq.heappop(heap)
+            fb, b = heapq.heappop(heap)
+            parent[a] = next_id
+            parent[b] = next_id
+            heapq.heappush(heap, (fa + fb, next_id))
+            next_id += 1
+        lengths = np.zeros(k, dtype=np.uint8)
+        depth_cache: Dict[int, int] = {heap[0][1]: 0}
+
+        def depth(node: int) -> int:
+            d = depth_cache.get(node)
+            if d is None:
+                d = depth(parent[node]) + 1
+                depth_cache[node] = d
+            return d
+
+        for i in range(k):
+            lengths[i] = max(1, depth(i))
+        if int(lengths.max()) > _MAX_CODE_LEN:
+            raise ValueError("code length exceeds packer limit")
+        return cls(symbols, lengths)
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        k = len(self.symbols)
+        return (
+            struct.pack("<I", k)
+            + self.symbols.tobytes()
+            + self.lengths.tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> Tuple["HuffmanCode", int]:
+        (k,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        symbols = np.frombuffer(data, dtype=np.int64, count=k, offset=offset).copy()
+        offset += 8 * k
+        lengths = np.frombuffer(data, dtype=np.uint8, count=k, offset=offset).copy()
+        offset += k
+        return cls(symbols, lengths), offset
+
+    # -- decode table ----------------------------------------------------------
+
+    def _node_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flattened binary trie: children[node, bit] -> node or ~leaf_idx."""
+        # Node 0 is the root; internal nodes get positive ids; leaves are
+        # encoded as negative (-1 - symbol_index).
+        children = [[0, 0]]
+        for idx in range(len(self.symbols)):
+            code = int(self.codes[idx])
+            length = int(self.lengths[idx])
+            node = 0
+            for pos in range(length - 1, -1, -1):
+                bit = (code >> pos) & 1
+                if pos == 0:
+                    children[node][bit] = -1 - idx
+                else:
+                    nxt = children[node][bit]
+                    if nxt <= 0:
+                        children.append([0, 0])
+                        nxt = len(children) - 1
+                        children[node][bit] = nxt
+                    node = nxt
+        arr = np.asarray(children, dtype=np.int64)
+        return arr[:, 0], arr[:, 1]
+
+
+def encode(values: np.ndarray) -> bytes:
+    """Huffman-encode an int64 symbol array; self-describing blob."""
+    values = np.asarray(values, dtype=np.int64)
+    n = values.shape[0]
+    if n == 0:
+        return struct.pack("<Q", 0)
+    symbols, inverse, freqs = np.unique(values, return_inverse=True, return_counts=True)
+    code = HuffmanCode.from_frequencies(symbols, freqs)
+    codes = code.codes[inverse]
+    lengths = code.lengths[inverse]
+    packed, total_bits = pack_codes(codes, lengths)
+    return (
+        struct.pack("<Q", n)
+        + code.to_bytes()
+        + struct.pack("<Q", total_bits)
+        + packed
+    )
+
+
+def decode(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`encode`."""
+    (n,) = struct.unpack_from("<Q", blob, 0)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    code, offset = HuffmanCode.from_bytes(blob, 8)
+    (total_bits,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    bits = unpack_bits(blob[offset:], total_bits)
+    zero_child, one_child = code._node_table()
+    out = np.empty(n, dtype=np.int64)
+    symbols = code.symbols
+    node = 0
+    k = 0
+    for bit in bits:
+        node = int(one_child[node]) if bit else int(zero_child[node])
+        if node < 0:
+            out[k] = symbols[-1 - node]
+            k += 1
+            if k == n:
+                break
+            node = 0
+    if k != n:
+        raise ValueError(f"truncated Huffman stream: decoded {k} of {n}")
+    return out

@@ -1,0 +1,81 @@
+"""Compressor plugin interface and registry.
+
+MEMQSim treats compression as a pluggable module (the paper's "adaptable to
+accommodate various compression algorithms"). A compressor turns a 1-D
+complex128 amplitude array into a self-describing byte blob and back:
+
+* :meth:`Compressor.compress` — array -> bytes
+* :meth:`Compressor.decompress` — bytes -> array (length restored from blob)
+
+Lossy compressors must respect their advertised error bound: every element
+of the round-tripped array differs from the original by at most
+:attr:`Compressor.error_bound` in each of the real and imaginary parts.
+
+The registry maps names to factory callables so configurations can name
+compressors in plain strings (``"szlike"``, ``"zlib"``, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["Compressor", "register_compressor", "get_compressor", "available_compressors"]
+
+
+class Compressor(abc.ABC):
+    """Base class for amplitude-chunk compressors."""
+
+    #: canonical registry name, set by subclasses
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def is_lossy(self) -> bool:
+        """Whether round-trips may perturb values."""
+
+    @property
+    def error_bound(self) -> float:
+        """Max per-component absolute error of a round-trip (0 if lossless)."""
+        return 0.0
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress a 1-D complex128 array into a self-describing blob."""
+
+    @abc.abstractmethod
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Recover the array (possibly within :attr:`error_bound`)."""
+
+    def describe(self) -> str:
+        kind = "lossy" if self.is_lossy else "lossless"
+        eb = f", eb={self.error_bound:g}" if self.is_lossy else ""
+        return f"{self.name} ({kind}{eb})"
+
+    def __repr__(self) -> str:
+        return f"<Compressor {self.describe()}>"
+
+
+_REGISTRY: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a compressor factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def get_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a registered compressor by name with factory kwargs."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_compressors() -> List[str]:
+    return sorted(_REGISTRY)

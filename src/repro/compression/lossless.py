@@ -1,0 +1,120 @@
+"""Lossless byte-transparent compressor backends (zlib / lzma / bz2).
+
+These serve three roles:
+
+* the exactness baseline in the compressor-comparison benchmarks (A2);
+* the backstop MEMQSim uses when configured lossless (``compressor="zlib"``),
+  in which case the chunked simulator is *bit-identical* to the dense one;
+* the raw-fallback stage inside the SZ-like pipeline.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import struct
+import zlib
+
+import numpy as np
+
+from .interface import Compressor, register_compressor
+
+__all__ = ["ZlibCompressor", "LzmaCompressor", "Bz2Compressor", "NullCompressor"]
+
+_MAGIC = b"LSL1"
+
+
+class _ByteCodecCompressor(Compressor):
+    """Shared framing for byte-level codecs."""
+
+    def __init__(self) -> None:
+        pass
+
+    @property
+    def is_lossy(self) -> bool:
+        return False
+
+    def _encode(self, raw: bytes) -> bytes:
+        raise NotImplementedError
+
+    def _decode(self, blob: bytes) -> bytes:
+        raise NotImplementedError
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.ascontiguousarray(data, dtype=np.complex128)
+        return _MAGIC + struct.pack("<Q", data.shape[0]) + self._encode(data.tobytes())
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a lossless blob")
+        (n,) = struct.unpack_from("<Q", blob, 4)
+        raw = self._decode(blob[12:])
+        return np.frombuffer(raw, dtype=np.complex128, count=n).copy()
+
+
+class ZlibCompressor(_ByteCodecCompressor):
+    """DEFLATE; the fast default lossless backend."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 1):
+        super().__init__()
+        self.level = int(level)
+
+    def _encode(self, raw: bytes) -> bytes:
+        return zlib.compress(raw, self.level)
+
+    def _decode(self, blob: bytes) -> bytes:
+        return zlib.decompress(blob)
+
+
+class LzmaCompressor(_ByteCodecCompressor):
+    """LZMA; highest ratio, slowest — the ratio-ceiling reference."""
+
+    name = "lzma"
+
+    def __init__(self, preset: int = 0):
+        super().__init__()
+        self.preset = int(preset)
+
+    def _encode(self, raw: bytes) -> bytes:
+        return lzma.compress(raw, preset=self.preset)
+
+    def _decode(self, blob: bytes) -> bytes:
+        return lzma.decompress(blob)
+
+
+class Bz2Compressor(_ByteCodecCompressor):
+    """bzip2; middle ground on ratio/speed."""
+
+    name = "bz2"
+
+    def __init__(self, level: int = 1):
+        super().__init__()
+        self.level = int(level)
+
+    def _encode(self, raw: bytes) -> bytes:
+        return bz2.compress(raw, self.level)
+
+    def _decode(self, blob: bytes) -> bytes:
+        return bz2.decompress(blob)
+
+
+class NullCompressor(_ByteCodecCompressor):
+    """Identity codec — isolates chunking overhead from compression cost."""
+
+    name = "null"
+
+    def _encode(self, raw: bytes) -> bytes:
+        return raw
+
+    def _decode(self, blob: bytes) -> bytes:
+        return blob
+
+
+# Factories tolerate (and ignore) lossy-only kwargs such as error_bound so
+# that sweeps can vary the compressor name against one option set.
+register_compressor("zlib", lambda level=1, **_: ZlibCompressor(level=level))
+register_compressor("lzma", lambda preset=0, **_: LzmaCompressor(preset=preset))
+register_compressor("bz2", lambda level=1, **_: Bz2Compressor(level=level))
+register_compressor("null", lambda **_: NullCompressor())

@@ -1,0 +1,95 @@
+"""Error-bounded linear-scaling quantization.
+
+The lossy stage of the SZ-like pipeline. For an absolute error bound ``eb``:
+
+    code_i = round(x_i / (2*eb))          (vectorized)
+    x̂_i   = 2*eb * code_i                 (vectorized)
+
+which guarantees ``|x_i - x̂_i| <= eb`` exactly in IEEE double as long as the
+quotient stays within the rounding-safe integer range. Relative mode derives
+``eb = rel * max|x|`` per call (value-range-relative, SZ's ``REL`` mode); the
+realized absolute bound is recorded in the emitted header by the caller.
+
+The quantizer is decoupled from prediction: the caller delta-encodes the
+*integer codes* (exact, reversible), which plays the role of SZ's Lorenzo
+predictor while keeping both directions fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "quantize",
+    "dequantize",
+    "resolve_error_bound",
+    "QuantizeResult",
+    "zigzag",
+    "unzigzag",
+    "MAX_SAFE_CODE",
+]
+
+#: codes above this magnitude risk float rounding artefacts; callers fall
+#: back to lossless storage instead (SZ's "unpredictable data" escape).
+MAX_SAFE_CODE = 1 << 52
+
+
+@dataclass(frozen=True)
+class QuantizeResult:
+    """Codes plus the absolute bound that was actually applied."""
+
+    codes: np.ndarray  # int64
+    abs_bound: float
+
+
+def resolve_error_bound(data: np.ndarray, error_bound: float, mode: str) -> float:
+    """Turn a configured bound into an absolute one for this buffer.
+
+    Args:
+        data: real-valued view of the buffer (used for ``rel`` mode).
+        error_bound: configured bound.
+        mode: ``"abs"`` (use as-is) or ``"rel"`` (scale by value range).
+    """
+    if error_bound <= 0:
+        raise ValueError("error bound must be positive")
+    if mode == "abs":
+        return float(error_bound)
+    if mode == "rel":
+        span = float(np.max(np.abs(data))) if data.size else 0.0
+        if span == 0.0:
+            # All-zero buffer: any positive bound works; pick the raw value.
+            return float(error_bound)
+        return float(error_bound) * span
+    raise ValueError(f"unknown error-bound mode {mode!r}")
+
+
+def quantize(data: np.ndarray, abs_bound: float) -> QuantizeResult:
+    """Quantize real float64 data under an absolute bound (vectorized)."""
+    step = 2.0 * abs_bound
+    with np.errstate(over="ignore"):
+        scaled = data / step
+    if not np.all(np.isfinite(scaled)):
+        raise FloatingPointError("non-finite values reached the quantizer")
+    if scaled.size and float(np.max(np.abs(scaled))) > MAX_SAFE_CODE:
+        raise OverflowError("quantization codes exceed the safe integer range")
+    codes = np.rint(scaled).astype(np.int64)
+    return QuantizeResult(codes=codes, abs_bound=float(abs_bound))
+
+
+def dequantize(codes: np.ndarray, abs_bound: float) -> np.ndarray:
+    """Reconstruct float64 values from codes (vectorized)."""
+    return codes.astype(np.float64) * (2.0 * abs_bound)
+
+
+def zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned (0,-1,1,-2,.. -> 0,1,2,3,..)."""
+    v = values.astype(np.int64)
+    return ((v << 1) ^ (v >> 63)).view(np.uint64)
+
+
+def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    u = values.astype(np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)) ^ -((u & np.uint64(1)).astype(np.int64))

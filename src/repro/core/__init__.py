@@ -1,0 +1,17 @@
+"""MEMQSim core: configuration, backends, simulator, results."""
+
+from .backend import Backend, EinsumBackend, NumpyKernelBackend, get_backend, register_backend
+from .config import MemQSimConfig
+from .memqsim import MemQSim
+from .results import MemQSimResult
+
+__all__ = [
+    "MemQSim",
+    "MemQSimConfig",
+    "MemQSimResult",
+    "Backend",
+    "NumpyKernelBackend",
+    "EinsumBackend",
+    "get_backend",
+    "register_backend",
+]

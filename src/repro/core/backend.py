@@ -1,0 +1,112 @@
+"""Pluggable kernel backends — the paper's modularity contribution.
+
+MEMQSim "is independent of ... simulation computational tasks" and can be
+plugged into different simulator backends (SV-Sim, Qiskit, ...). Here that
+boundary is a one-method interface: a :class:`Backend` applies a batch of
+gates to an amplitude buffer. The chunked pipeline never touches amplitudes
+except through a backend, so swapping the update engine swaps nothing else.
+
+Two implementations ship:
+
+* :class:`NumpyKernelBackend` — the production strided/matmul kernels from
+  :mod:`repro.statevector.kernels` (the SV-Sim stand-in);
+* :class:`EinsumBackend` — an independent tensor-contraction engine used to
+  cross-validate the kernels in tests (different code path, same numbers).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Type
+
+import numpy as np
+
+from ..circuits.gates import Gate
+from ..statevector.kernels import apply_circuit_gate, apply_stored_diagonal, num_qubits_of
+
+__all__ = ["Backend", "NumpyKernelBackend", "EinsumBackend", "get_backend", "register_backend"]
+
+
+class Backend(abc.ABC):
+    """Applies gate batches to amplitude buffers, in place."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(self, buf: np.ndarray, gates: Sequence[Gate]) -> None:
+        """Apply ``gates`` in order to ``buf`` (length ``2^m``), in place."""
+
+
+class NumpyKernelBackend(Backend):
+    """Default: strided fast paths + single-matmul generic kernel."""
+
+    name = "numpy"
+
+    def apply(self, buf: np.ndarray, gates: Sequence[Gate]) -> None:
+        for g in gates:
+            apply_circuit_gate(buf, g)
+
+
+class EinsumBackend(Backend):
+    """Reference engine: every gate as an einsum tensor contraction."""
+
+    name = "einsum"
+
+    def apply(self, buf: np.ndarray, gates: Sequence[Gate]) -> None:
+        m = num_qubits_of(buf)
+        for g in gates:
+            if g.diag is not None:
+                apply_stored_diagonal(buf, g.diag, g.qubits)
+                continue
+            k = len(g.qubits)
+            tensor = buf.reshape((2,) * m)
+            gt = g.matrix.reshape((2,) * (2 * k))
+            # Gate tensor axes: first k are output (MSB-first within the
+            # gate), last k are input. Little-endian gate qubits mean the
+            # first listed qubit is the least significant — axis order in
+            # the reshaped matrix is MSB first, so reverse.
+            in_axes = [m - 1 - q for q in reversed(g.qubits)]
+            out = np.einsum(
+                gt,
+                list(range(2 * k)),
+                tensor,
+                self._axes_spec(m, k, in_axes),
+                self._out_spec(m, k, in_axes),
+                optimize=True,
+            )
+            buf[...] = np.ascontiguousarray(out).reshape(-1)
+
+    @staticmethod
+    def _axes_spec(m: int, k: int, in_axes) -> list:
+        # State tensor labels: fresh label for every axis; contracted axes
+        # get the gate's input labels (k .. 2k-1).
+        labels = list(range(2 * k, 2 * k + m))
+        for i, ax in enumerate(in_axes):
+            labels[ax] = k + i
+        return labels
+
+    @staticmethod
+    def _out_spec(m: int, k: int, in_axes) -> list:
+        labels = list(range(2 * k, 2 * k + m))
+        for i, ax in enumerate(in_axes):
+            labels[ax] = i  # replaced by the gate's output labels
+        return labels
+
+
+_BACKENDS: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+register_backend(NumpyKernelBackend)
+register_backend(EinsumBackend)
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; have {sorted(_BACKENDS)}") from None

@@ -1,0 +1,112 @@
+"""MEMQSim configuration.
+
+One frozen dataclass gathers every knob the system exposes; everything has
+a sensible default so ``MemQSim()`` works out of the box. The config also
+hosts the *auto* policies: chunk-size selection against the device spec and
+derived pool sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..compression.interface import Compressor, get_compressor
+from ..device.spec import DeviceSpec, HostSpec
+
+__all__ = ["MemQSimConfig"]
+
+
+@dataclass(frozen=True)
+class MemQSimConfig:
+    """All MEMQSim knobs.
+
+    Attributes:
+        chunk_qubits: amplitudes per chunk = ``2^chunk_qubits``; 0 = auto
+            (largest chunk that still leaves >= ``min_chunks`` chunks and
+            fits the device double-buffered).
+        compressor: registry name of the chunk codec.
+        compressor_options: kwargs for the codec factory (e.g.
+            ``{"error_bound": 1e-5, "mode": "abs"}``).
+        transfer: ``"sync"`` | ``"async"`` | ``"buffer"`` — Table 1's three
+            H2D/D2H strategies.
+        device: simulated accelerator spec (capacity enforced).
+        host: simulated host spec (cores feed the overlap model).
+        cpu_offload_fraction: share of chunk groups updated host-side by
+            idle cores (paper step 5). 0 disables.
+        num_buffers: staging buffers in the host pool (2 = double buffer).
+        enable_permutation_stages: execute global X/SWAP as blob relabeling.
+        min_chunks: auto chunk sizing keeps at least this many chunks.
+        max_chunk_qubits: auto chunk sizing cap (keeps codec latency sane).
+        backend: kernel backend name (``"numpy"`` or ``"einsum"``).
+        fuse_gates: merge adjacent single-qubit gates per group pass into
+            one 2x2 unitary before launching kernels.
+        num_devices: simulated accelerators; chunk groups are distributed
+            round-robin and the overlap model gets one GPU + bus lane per
+            device.
+        cache_chunks: if > 0, keep this many decompressed chunks resident
+            in a write-back cache (design challenge 3 — data locality);
+            hits skip the codec entirely.
+        cache_policy: eviction policy, ``"mru"`` (right for cyclic sweeps)
+            or ``"lru"``.
+        serpentine_groups: alternate the group sweep direction per stage
+            (boustrophedon) so the chunk cache keeps hitting across stage
+            boundaries; free when no cache is configured.
+        store: ``"memory"`` (default) or ``"disk"`` — out-of-core blobs in
+            an append log (RAM cost: the chunk index only).
+        disk_path: log file for the disk store (default: a temp file).
+    """
+
+    chunk_qubits: int = 0
+    compressor: str = "szlike"
+    compressor_options: Dict[str, object] = field(default_factory=dict)
+    transfer: str = "sync"
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    cpu_offload_fraction: float = 0.0
+    num_buffers: int = 2
+    enable_permutation_stages: bool = True
+    min_chunks: int = 4
+    max_chunk_qubits: int = 14
+    backend: str = "numpy"
+    fuse_gates: bool = False
+    num_devices: int = 1
+    cache_chunks: int = 0
+    cache_policy: str = "mru"
+    serpentine_groups: bool = True
+    store: str = "memory"
+    disk_path: Optional[str] = None
+
+    def make_compressor(self) -> Compressor:
+        return get_compressor(self.compressor, **self.compressor_options)
+
+    def resolve_chunk_qubits(self, num_qubits: int) -> int:
+        """Pick the chunk size for an ``num_qubits``-qubit run."""
+        if self.chunk_qubits:
+            if self.chunk_qubits > num_qubits:
+                raise ValueError(
+                    f"chunk_qubits {self.chunk_qubits} > circuit qubits {num_qubits}"
+                )
+            return self.chunk_qubits
+        # Auto: as large as possible subject to (a) >= min_chunks chunks,
+        # (b) double-buffered group-of-2 fits the device, (c) the cap.
+        import math
+
+        by_chunks = num_qubits - max(1, int(math.log2(self.min_chunks)))
+        dev_amps = self.device.memory_bytes // 16
+        by_device = max(1, int(math.log2(max(2, dev_amps))) - 2)  # 2 bufs x group-of-2
+        c = min(by_chunks, by_device, self.max_chunk_qubits)
+        return max(1, c)
+
+    def with_updates(self, **kwargs) -> "MemQSimConfig":
+        """Functional update helper (configs are frozen)."""
+        return replace(self, **kwargs)
+
+    def summary(self) -> str:
+        co = ", ".join(f"{k}={v}" for k, v in sorted(self.compressor_options.items()))
+        return (
+            f"chunk_qubits={self.chunk_qubits or 'auto'} "
+            f"compressor={self.compressor}({co}) transfer={self.transfer} "
+            f"device={self.device.memory_bytes // (1 << 20)}MiB "
+            f"offload={self.cpu_offload_fraction:g} buffers={self.num_buffers}"
+        )

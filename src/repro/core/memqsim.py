@@ -1,0 +1,239 @@
+"""MEMQSim: the memory-efficient chunked state-vector simulator.
+
+This is the paper's contribution wired together:
+
+* **offline stage** — resolve the chunk layout against the device spec,
+  initialize the compressed chunk store (every chunk independently
+  compressed in host memory), and partition the circuit into execution
+  stages (:mod:`repro.pipeline.planner`);
+* **online stage** — stream every chunk group through decompress -> H2D ->
+  kernel -> D2H -> recompress (:mod:`repro.pipeline.scheduler`), optionally
+  routing a fraction of groups to the idle-core CPU path;
+* **telemetry** — per-stage measured timings, the overlapped-pipeline
+  makespan, memory peaks by category, compression ratio and qubit headroom.
+
+Example::
+
+    from repro.circuits import qft
+    from repro.core import MemQSim
+
+    sim = MemQSim()                      # defaults: szlike codec, sync copy
+    result = sim.run(qft(14))
+    print(result.report())
+    counts = result.sample(1000)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..device.executor import DeviceExecutor
+from ..device.timeline import PipelineModel, Timeline
+from ..device.transfer import make_strategy
+from ..memory.accounting import MemoryTracker
+from ..memory.bufferpool import BufferPool
+from ..memory.chunkstore import CompressedChunkStore
+from ..memory.layout import ChunkLayout
+from ..pipeline.planner import describe_plan, max_group_qubits_for, plan_stages
+from ..pipeline.scheduler import StageScheduler
+from ..statevector.statevector import StateVector
+from .backend import get_backend
+from .config import MemQSimConfig
+from .results import MemQSimResult
+
+__all__ = ["MemQSim"]
+
+
+class MemQSim:
+    """Memory-efficient modular state-vector simulator (the paper's system)."""
+
+    def __init__(self, config: Optional[MemQSimConfig] = None, **overrides):
+        """Create a simulator.
+
+        Args:
+            config: full configuration; defaults to :class:`MemQSimConfig`.
+            **overrides: convenience field overrides applied on top, e.g.
+                ``MemQSim(compressor="zlib", chunk_qubits=8)``.
+        """
+        base = config if config is not None else MemQSimConfig()
+        self.config = base.with_updates(**overrides) if overrides else base
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state: Optional[StateVector] = None,
+        checkpoint: Optional[str] = None,
+        initial_store: Optional[CompressedChunkStore] = None,
+    ) -> MemQSimResult:
+        """Simulate ``circuit`` and return a streaming result handle.
+
+        Args:
+            circuit: the circuit to execute.
+            initial_state: optional dense initial state (default |0...0>).
+            checkpoint: optional path to a compressed-store checkpoint
+                written by :meth:`MemQSimResult.save_state`; resumes from
+                that state without ever densifying. The checkpoint's
+                layout overrides the configured chunk size.
+            initial_store: optional in-memory compressed store to continue
+                from (e.g. ``previous_result.store``); reused in place,
+                layout overrides the configured chunk size. At most one of
+                the three initial-state options may be given.
+        """
+        cfg = self.config
+        n = circuit.num_qubits
+        t_wall = time.perf_counter()
+        given = sum(
+            x is not None for x in (initial_state, checkpoint, initial_store)
+        )
+        if given > 1:
+            raise ValueError(
+                "pass at most one of initial_state / checkpoint / initial_store"
+            )
+
+        # ---- offline stage -------------------------------------------------
+        tracker = MemoryTracker()
+        if initial_store is not None:
+            # Unwrap a cache layer from a previous run's result if present
+            # (flushing its dirty chunks into the underlying store first).
+            if hasattr(initial_store, "flush"):
+                initial_store.flush()
+            store = getattr(initial_store, "inner", initial_store)
+            if store.layout.num_qubits != n:
+                raise ValueError(
+                    f"initial store has {store.layout.num_qubits} qubits, "
+                    f"circuit has {n}"
+                )
+            tracker = store.tracker
+            layout = store.layout
+            c = layout.chunk_qubits
+        elif checkpoint is not None:
+            from ..memory.persist import load_store
+
+            store = load_store(checkpoint, cfg.make_compressor(), tracker)
+            if store.layout.num_qubits != n:
+                raise ValueError(
+                    f"checkpoint has {store.layout.num_qubits} qubits, "
+                    f"circuit has {n}"
+                )
+            layout = store.layout
+            c = layout.chunk_qubits
+        else:
+            c = cfg.resolve_chunk_qubits(n)
+            layout = ChunkLayout(n, c)
+            store = self._make_store(layout, tracker)
+            if initial_state is not None:
+                if initial_state.num_qubits != n:
+                    raise ValueError("initial state does not match circuit size")
+                store.init_from_statevector(initial_state.data)
+            else:
+                store.init_zero_state()
+
+        t_max = max_group_qubits_for(layout, cfg.device, double_buffer=cfg.num_buffers > 1)
+        stages = plan_stages(
+            circuit, layout, t_max,
+            enable_permutation_stages=cfg.enable_permutation_stages,
+        )
+        plan = describe_plan(stages, layout)
+
+        # Host budget check: compressed store + staging must fit.
+        group_qubits_used = plan.max_group_size
+        buffer_amps = layout.chunk_size << group_qubits_used
+        pool_bytes = cfg.num_buffers * buffer_amps * 16
+        if pool_bytes > cfg.host.memory_bytes:
+            raise MemoryError(
+                f"host budget {cfg.host.memory_bytes:,}B cannot hold "
+                f"{cfg.num_buffers} staging buffers of {buffer_amps * 16:,}B"
+            )
+
+        # ---- online stage ----------------------------------------------------
+        timeline = Timeline()
+        transfer = make_strategy(
+            cfg.transfer, max_elements=buffer_amps
+        ) if cfg.transfer == "buffer" else make_strategy(cfg.transfer)
+        backend = get_backend(cfg.backend)
+        if cfg.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        executors = []
+        for _ in range(cfg.num_devices):
+            dev_transfer = transfer if len(executors) == 0 else (
+                make_strategy(cfg.transfer, max_elements=buffer_amps)
+                if cfg.transfer == "buffer" else make_strategy(cfg.transfer)
+            )
+            executors.append(DeviceExecutor(
+                cfg.device, transfer=dev_transfer, timeline=timeline,
+                tracker=tracker, backend=backend,
+            ))
+        store_like = store
+        if cfg.cache_chunks:
+            from ..memory.cache import ChunkCache
+
+            store_like = ChunkCache(
+                store, cfg.cache_chunks, cfg.cache_policy, tracker
+            )
+        pool = BufferPool(cfg.num_buffers, buffer_amps, tracker)
+        scheduler = StageScheduler(
+            layout, store_like, executors, pool, timeline,
+            cpu_offload_fraction=cfg.cpu_offload_fraction,
+            fuse_gates=cfg.fuse_gates,
+            serpentine=cfg.serpentine_groups,
+        )
+        scheduler.run(stages)
+        if store_like is not store:
+            store_like.flush()
+        pool.close()
+        for ex in executors:
+            ex.reset()
+
+        wall = time.perf_counter() - t_wall
+        model = PipelineModel(
+            cpu_codec_lanes=max(1, cfg.host.cores - 1),
+            cpu_idle_lanes=max(1, cfg.host.idle_cores),
+            gpu_lanes=cfg.num_devices,
+        )
+        pipelined = model.makespan(timeline)
+        return MemQSimResult(
+            num_qubits=n,
+            store=store_like if cfg.cache_chunks else store,
+            timeline=timeline,
+            tracker=tracker,
+            plan=plan,
+            scheduler_stats=scheduler.stats,
+            wall_seconds=wall,
+            pipelined_seconds=pipelined,
+            config_summary=cfg.summary(),
+        )
+
+    def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):
+        cfg = self.config
+        if cfg.store == "memory":
+            return CompressedChunkStore(layout, cfg.make_compressor(), tracker)
+        if cfg.store == "disk":
+            import tempfile
+
+            from ..memory.diskstore import DiskChunkStore
+
+            path = cfg.disk_path
+            if path is None:
+                fd, path = tempfile.mkstemp(prefix="memqsim_", suffix=".log")
+                import os
+
+                os.close(fd)
+            return DiskChunkStore(layout, cfg.make_compressor(), path, tracker)
+        raise ValueError(f"unknown store kind {cfg.store!r}")
+
+    def sample(self, circuit: Circuit, shots: int, seed: Optional[int] = None):
+        """Run and sample measurement outcomes (streamed, never dense)."""
+        return self.run(circuit).sample(shots, seed=seed)
+
+    def statevector(self, circuit: Circuit) -> np.ndarray:
+        """Run and densify — convenience for tests and small circuits."""
+        return self.run(circuit).statevector()
+
+    def __repr__(self) -> str:
+        return f"<MemQSim {self.config.summary()}>"

@@ -1,0 +1,271 @@
+"""Simulation results: the final (still-compressed) state plus statistics.
+
+:class:`MemQSimResult` keeps the compressed chunk store alive, so queries
+stream chunk-by-chunk and never materialize the dense vector unless
+explicitly asked (``statevector()``). It also carries the complete timing /
+memory / plan telemetry every benchmark consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..device.timeline import Timeline
+from ..memory.accounting import MemoryTracker
+from ..memory.chunkstore import CompressedChunkStore
+from ..pipeline.planner import PlanReport
+from ..pipeline.scheduler import SchedulerStats
+
+__all__ = ["MemQSimResult"]
+
+
+@dataclass
+class MemQSimResult:
+    """Everything a MEMQSim run produced."""
+
+    num_qubits: int
+    store: CompressedChunkStore
+    timeline: Timeline
+    tracker: MemoryTracker
+    plan: PlanReport
+    scheduler_stats: SchedulerStats
+    wall_seconds: float
+    pipelined_seconds: float
+    config_summary: str = ""
+
+    # -- state queries (streaming; never densify unless asked) ------------------
+
+    def statevector(self) -> np.ndarray:
+        """Materialize the dense state (exponential memory — small n only)."""
+        return self.store.to_statevector()
+
+    def chunk_probability_masses(self) -> np.ndarray:
+        """Per-chunk total probability, one decompression pass."""
+        masses = np.empty(self.store.layout.num_chunks, dtype=np.float64)
+        for k in range(self.store.layout.num_chunks):
+            chunk = self.store.load(k)
+            masses[k] = float(np.sum(chunk.real**2 + chunk.imag**2))
+        return masses
+
+    def norm(self) -> float:
+        return float(np.sqrt(self.chunk_probability_masses().sum()))
+
+    def probability_of(self, index: int) -> float:
+        c, o = self.store.layout.split(index)
+        amp = self.store.load(c)[o]
+        return float((amp * amp.conjugate()).real)
+
+    def amplitude(self, index: int) -> complex:
+        c, o = self.store.layout.split(index)
+        return complex(self.store.load(c)[o])
+
+    def sample(self, shots: int, seed: Optional[int] = None) -> Dict[str, int]:
+        """Sample bitstrings without densifying: chunk CDF then offset CDF."""
+        rng = np.random.default_rng(seed)
+        masses = self.chunk_probability_masses()
+        total = masses.sum()
+        if total <= 0:
+            raise ValueError("zero-norm state")
+        per_chunk = rng.multinomial(shots, masses / total)
+        n = self.num_qubits
+        counts: Dict[str, int] = {}
+        cq = self.store.layout.chunk_qubits
+        for k in np.flatnonzero(per_chunk):
+            chunk = self.store.load(int(k))
+            p = chunk.real**2 + chunk.imag**2
+            s = p.sum()
+            if s <= 0:
+                continue
+            cdf = np.cumsum(p / s)
+            cdf[-1] = 1.0
+            draws = np.searchsorted(cdf, rng.random(int(per_chunk[k])), side="right")
+            base = int(k) << cq
+            for off in draws:
+                key = format(base | int(off), f"0{n}b")
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation_z(self, qubit: int) -> float:
+        """⟨Z_qubit⟩ streamed over chunks."""
+        lay = self.store.layout
+        total = 0.0
+        for k in range(lay.num_chunks):
+            chunk = self.store.load(k)
+            p = chunk.real**2 + chunk.imag**2
+            if lay.is_local(qubit):
+                view = p.reshape(-1, 2, 1 << qubit)
+                total += view[:, 0, :].sum() - view[:, 1, :].sum()
+            else:
+                bit = (k >> (qubit - lay.chunk_qubits)) & 1
+                total += -p.sum() if bit else p.sum()
+        return float(total)
+
+    def expectation_pauli(self, pauli: str,
+                          qubits: Optional[List[int]] = None) -> float:
+        """⟨P⟩ for an arbitrary Pauli string, streamed over chunk pairs.
+
+        X/Y letters pair amplitude ``i`` with ``i ^ x_mask``; the global
+        part of the mask pairs whole chunks, so each chunk loads together
+        with its partner and the phase machinery shared with the dense
+        implementation does the rest.
+        """
+        from ..statevector.pauli import parse_pauli, pauli_phase
+
+        ps = parse_pauli(pauli, qubits)
+        if ps.num_qubits > self.num_qubits:
+            raise ValueError("Pauli string touches qubits outside the state")
+        lay = self.store.layout
+        cq = lay.chunk_qubits
+        cs = lay.chunk_size
+        local_x = ps.x_mask & (cs - 1)
+        global_bits = ps.x_mask >> cq
+        offs = np.arange(cs, dtype=np.uint64)
+        total = 0.0 + 0.0j
+        for k in range(lay.num_chunks):
+            bra = self.store.load(k)
+            partner = k ^ global_bits
+            ket_chunk = bra if partner == k else self.store.load(partner)
+            idx = offs | np.uint64(k << cq)
+            ket = ket_chunk[offs ^ np.uint64(local_x)]
+            total += np.sum(bra.conj() * pauli_phase(ps, idx) * ket)
+        return float(total.real)
+
+    def fidelity_vs(self, dense_state: np.ndarray) -> float:
+        """|<dense|self>|^2 computed chunk-streamed against a dense vector."""
+        lay = self.store.layout
+        acc = 0.0 + 0.0j
+        cs = lay.chunk_size
+        for k in range(lay.num_chunks):
+            chunk = self.store.load(k)
+            acc += np.vdot(dense_state[k * cs:(k + 1) * cs], chunk)
+        return float(abs(acc) ** 2)
+
+    def measure_qubit(self, qubit: int,
+                      rng: Optional[np.random.Generator] = None) -> int:
+        """Projectively measure one qubit, collapsing the *compressed* state.
+
+        Streams two passes over the store: one to accumulate P(qubit=1),
+        one to collapse. For a **global** qubit the discarded branch is
+        whole chunks, which are replaced by the interned zero blob with no
+        codec work at all — the chunked layout makes global-qubit collapse
+        nearly free. Returns the observed bit.
+        """
+        if rng is None:
+            rng = np.random.default_rng()
+        lay = self.store.layout
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+        local = lay.is_local(qubit)
+        gbit = 0 if local else qubit - lay.chunk_qubits
+        # Pass 1: probability mass of the |1> branch.
+        p1 = 0.0
+        total = 0.0
+        for k in range(lay.num_chunks):
+            chunk = self.store.load(k)
+            p = chunk.real**2 + chunk.imag**2
+            total += float(p.sum())
+            if local:
+                view = p.reshape(-1, 2, 1 << qubit)
+                p1 += float(view[:, 1, :].sum())
+            elif (k >> gbit) & 1:
+                p1 += float(p.sum())
+        if total <= 0.0:
+            raise ValueError("zero-norm state")
+        prob_one = min(1.0, max(0.0, p1 / total))
+        bit = 1 if rng.random() < prob_one else 0
+        keep = prob_one if bit == 1 else 1.0 - prob_one
+        if keep <= 0.0:
+            bit = 1 - bit
+            keep = 1.0 - keep
+        scale = 1.0 / np.sqrt(keep * total)
+        # Pass 2: collapse + renormalize.
+        for k in range(lay.num_chunks):
+            if not local:
+                if ((k >> gbit) & 1) != bit:
+                    self.store.zero_chunk(k)
+                    continue
+                chunk = self.store.load(k)
+                chunk *= scale
+                self.store.store(k, chunk)
+                continue
+            chunk = self.store.load(k)
+            view = chunk.reshape(-1, 2, 1 << qubit)
+            view[:, 1 - bit, :] = 0.0
+            chunk *= scale
+            self.store.store(k, chunk)
+        return bit
+
+    def save_state(self, path) -> int:
+        """Checkpoint the compressed store to disk; returns bytes written.
+
+        The file holds the blobs as-is (no densification); resume with
+        ``MemQSim(...).run(next_circuit, checkpoint=path)``.
+        """
+        from ..memory.persist import save_store
+
+        return save_store(self.store, path)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.timeline.serial_seconds()
+
+    @property
+    def stage_breakdown(self) -> Dict[str, float]:
+        return self.timeline.stage_breakdown()
+
+    @property
+    def pipeline_speedup(self) -> float:
+        if self.pipelined_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.pipelined_seconds
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.store.compression_ratio()
+
+    @property
+    def peak_host_bytes(self) -> int:
+        return (self.tracker.peak("chunk_store")
+                + self.tracker.peak("host_buffers")
+                + self.tracker.peak("chunk_cache"))
+
+    @property
+    def peak_device_bytes(self) -> int:
+        return self.tracker.peak("device_arena")
+
+    @property
+    def dense_bytes(self) -> int:
+        return MemoryTracker.dense_bytes(self.num_qubits)
+
+    def report(self) -> str:
+        bd = self.stage_breakdown
+        lines = [
+            f"MEMQSim result: n={self.num_qubits}  [{self.config_summary}]",
+            f"  wall time          {self.wall_seconds * 1e3:10.2f} ms",
+            f"  serial stage sum   {self.serial_seconds * 1e3:10.2f} ms",
+            f"  pipelined makespan {self.pipelined_seconds * 1e3:10.2f} ms "
+            f"({self.pipeline_speedup:.2f}x overlap)",
+            "  stage breakdown:",
+        ]
+        for stage, secs in sorted(bd.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {stage:<12} {secs * 1e3:10.2f} ms")
+        lines += [
+            f"  store ratio        {self.compression_ratio:10.2f}x "
+            f"(qubit headroom {np.log2(max(self.compression_ratio, 1e-12)):.1f})",
+            f"  peak host bytes    {self.peak_host_bytes:>14,} "
+            f"(dense would be {self.dense_bytes:,})",
+            f"  peak device bytes  {self.peak_device_bytes:>14,}",
+            f"  plan: {self.plan.num_stages} stages "
+            f"({self.plan.num_local_stages} local, "
+            f"{self.plan.num_permutation_stages} permutation), "
+            f"{self.plan.group_passes} group passes",
+            f"  scheduler: {self.scheduler_stats.gates_applied} gates applied, "
+            f"{self.scheduler_stats.gates_skipped_identity} identity-skipped, "
+            f"{self.scheduler_stats.cpu_group_passes} CPU-path groups",
+        ]
+        return "\n".join(lines)

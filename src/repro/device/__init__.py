@@ -1,0 +1,45 @@
+"""Simulated device: specs, arena, transfer strategies, executor, timeline."""
+
+from .arena import DeviceArena, DeviceBuffer, DeviceOutOfMemory
+from .executor import DeviceExecutor, KernelLaunch
+from .spec import DeviceSpec, HostSpec
+from .timeline import (
+    STAGE_RESOURCE,
+    PipelineModel,
+    ScheduledEvent,
+    Stage,
+    StageEvent,
+    Timeline,
+)
+from .transfer import (
+    AsyncPerElementCopy,
+    BufferedCopy,
+    SyncCopy,
+    TransferLog,
+    TransferRecord,
+    TransferStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "HostSpec",
+    "DeviceArena",
+    "DeviceBuffer",
+    "DeviceOutOfMemory",
+    "DeviceExecutor",
+    "KernelLaunch",
+    "TransferStrategy",
+    "SyncCopy",
+    "AsyncPerElementCopy",
+    "BufferedCopy",
+    "TransferRecord",
+    "TransferLog",
+    "make_strategy",
+    "Stage",
+    "StageEvent",
+    "ScheduledEvent",
+    "Timeline",
+    "PipelineModel",
+    "STAGE_RESOURCE",
+]

@@ -1,0 +1,136 @@
+"""Device memory arena: a capacity-enforced allocator over one backing array.
+
+All "device-resident" data lives inside a single preallocated complex128
+array, mirroring how a CUDA allocator carves up GPU global memory. The arena
+implements first-fit allocation with free-list coalescing; exceeding the
+capacity raises :class:`DeviceOutOfMemory` — that pressure is what drives
+the chunked schedule (a real GPU gives cudaErrorMemoryAllocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory.accounting import MemoryTracker
+from .spec import DeviceSpec
+
+__all__ = ["DeviceArena", "DeviceOutOfMemory", "DeviceBuffer"]
+
+CATEGORY = "device_arena"
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Requested allocation exceeds remaining device memory."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A live allocation: a view into the arena's backing store."""
+
+    offset: int  # in amplitudes
+    size: int  # in amplitudes
+    view: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * 16
+
+
+class DeviceArena:
+    """First-fit allocator over a fixed complex128 backing array."""
+
+    def __init__(self, spec: DeviceSpec, tracker: Optional[MemoryTracker] = None):
+        self.spec = spec
+        self.capacity = spec.memory_bytes // 16  # amplitudes
+        if self.capacity < 1:
+            raise ValueError("device memory too small for a single amplitude")
+        self._backing = np.zeros(self.capacity, dtype=np.complex128)
+        # Free list of (offset, size), sorted by offset, coalesced.
+        self._free: List[Tuple[int, int]] = [(0, self.capacity)]
+        self._live: Dict[int, DeviceBuffer] = {}
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.peak_amplitudes = 0
+
+    # -- allocation -------------------------------------------------------------
+
+    def alloc(self, size: int) -> DeviceBuffer:
+        """Allocate ``size`` amplitudes; raises :class:`DeviceOutOfMemory`."""
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        for i, (off, sz) in enumerate(self._free):
+            if sz >= size:
+                if sz == size:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (off + size, sz - size)
+                buf = DeviceBuffer(off, size, self._backing[off:off + size])
+                self._live[off] = buf
+                self.tracker.alloc(CATEGORY, buf.nbytes)
+                self.peak_amplitudes = max(self.peak_amplitudes, self.used)
+                return buf
+        raise DeviceOutOfMemory(
+            f"device OOM: need {size * 16:,} bytes, "
+            f"{self.free_amplitudes * 16:,} free of {self.capacity * 16:,}"
+        )
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Return a buffer to the arena (coalescing neighbours)."""
+        live = self._live.pop(buf.offset, None)
+        if live is not buf:
+            raise ValueError("buffer does not belong to this arena (or double free)")
+        self.tracker.free(CATEGORY, buf.nbytes)
+        self._insert_free(buf.offset, buf.size)
+
+    def _insert_free(self, off: int, size: int) -> None:
+        # Insert keeping order, then coalesce with neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (off, size))
+        # Coalesce right then left.
+        if lo + 1 < len(self._free):
+            o2, s2 = self._free[lo + 1]
+            if off + size == o2:
+                self._free[lo] = (off, size + s2)
+                self._free.pop(lo + 1)
+        if lo > 0:
+            o0, s0 = self._free[lo - 1]
+            o1, s1 = self._free[lo]
+            if o0 + s0 == o1:
+                self._free[lo - 1] = (o0, s0 + s1)
+                self._free.pop(lo)
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Live amplitudes."""
+        return sum(b.size for b in self._live.values())
+
+    @property
+    def free_amplitudes(self) -> int:
+        return sum(sz for _, sz in self._free)
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((sz for _, sz in self._free), default=0)
+
+    def reset(self) -> None:
+        """Drop all allocations (end-of-stage bulk release)."""
+        for buf in list(self._live.values()):
+            self.tracker.free(CATEGORY, buf.nbytes)
+        self._live.clear()
+        self._free = [(0, self.capacity)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeviceArena {self.spec.name} used={self.used * 16:,}B "
+            f"free={self.free_amplitudes * 16:,}B>"
+        )

@@ -1,0 +1,124 @@
+"""SV-Sim-style session adapter.
+
+The paper's prototype "plugged into the SV-SIM framework"; SV-Sim exposes an
+imperative simulator session (allocate once, append gates by name, run,
+measure). :class:`SvSession` reproduces that interface over MEMQSim, so a
+frontend written against SV-Sim's API drives the compressed chunked backend
+without knowing it exists — the concrete form of the paper's modularity
+claim.
+
+Example::
+
+    sim = SvSession(n_qubits=10)
+    sim.h(0)
+    for q in range(9):
+        sim.cx(q, q + 1)
+    counts = sim.measure_all(shots=1024)
+    sim.reset_sim()          # reuse the session for the next circuit
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .circuits.circuit import Circuit
+from .circuits.gates import GATE_SET
+from .core.config import MemQSimConfig
+from .core.memqsim import MemQSim
+from .core.results import MemQSimResult
+
+__all__ = ["SvSession"]
+
+
+class SvSession:
+    """Imperative, SV-Sim-like frontend over the MEMQSim backend.
+
+    Gates are appended by the same lower-case names SV-Sim uses (``h``,
+    ``cx``, ``rz`` ...); execution is deferred until a measurement or
+    an explicit :meth:`run`, then cached until more gates arrive.
+    """
+
+    def __init__(self, n_qubits: int, config: Optional[MemQSimConfig] = None,
+                 seed: Optional[int] = None):
+        if n_qubits < 1:
+            raise ValueError("n_qubits must be >= 1")
+        self.n_qubits = int(n_qubits)
+        self._sim = MemQSim(config if config is not None else MemQSimConfig())
+        self._circuit = Circuit(self.n_qubits, name="svsession")
+        self._result: Optional[MemQSimResult] = None
+        self._store = None  # compressed state carried between run() calls
+        self._rng = np.random.default_rng(seed)
+
+    # -- gate appends (SV-Sim verb style) -----------------------------------
+
+    def append(self, name: str, *qubits: int, params=()) -> "SvSession":
+        """Append any registered gate by name."""
+        if name not in GATE_SET:
+            raise KeyError(f"unknown gate {name!r}")
+        self._circuit.add(name, *qubits, params=params)
+        self._result = None  # invalidate the cached state
+        return self
+
+    def __getattr__(self, name: str):
+        # h(0), cx(0,1), rz(theta, 0), ... — anything the gate set names.
+        if name in GATE_SET:
+            spec = GATE_SET[name]
+
+            def apply(*args):
+                if spec.num_params:
+                    params = args[: spec.num_params]
+                    qubits = args[spec.num_params:]
+                else:
+                    params, qubits = (), args
+                return self.append(name, *qubits, params=params)
+
+            return apply
+        raise AttributeError(name)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._circuit)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> MemQSimResult:
+        """Execute pending gates onto the session state (imperative model).
+
+        Results are cached; the compressed state carries across calls, so
+        appending more gates after a run continues from where it stopped.
+        """
+        if self._result is None or len(self._circuit):
+            self._result = self._sim.run(self._circuit, initial_store=self._store)
+            self._store = self._result.store
+            self._circuit = Circuit(self.n_qubits, name="svsession")
+        return self._result
+
+    def measure_all(self, shots: int = 1024) -> Dict[str, int]:
+        """Terminal measurement of every qubit (SV-Sim's ``measure_all``)."""
+        return self.run().sample(shots, seed=int(self._rng.integers(2**31)))
+
+    def measure(self, qubit: int) -> int:
+        """Mid-circuit measurement of one qubit (collapses the state).
+
+        Subsequent gates continue from the collapsed state.
+        """
+        result = self.run()
+        return result.measure_qubit(qubit, self._rng)
+
+    def get_statevector(self) -> np.ndarray:
+        return self.run().statevector()
+
+    def expectation_z(self, qubit: int) -> float:
+        return self.run().expectation_z(qubit)
+
+    def reset_sim(self) -> None:
+        """Drop all gates and state (SV-Sim's ``reset_sim``)."""
+        self._circuit = Circuit(self.n_qubits, name="svsession")
+        self._result = None
+        self._store = None
+
+    def __repr__(self) -> str:
+        return (f"<SvSession n={self.n_qubits} pending_gates="
+                f"{len(self._circuit)} backend={self._sim!r}>")

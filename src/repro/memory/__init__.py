@@ -1,0 +1,25 @@
+"""Chunked memory layer: layout math, compressed store, buffers, accounting."""
+
+from .accounting import MemorySnapshot, MemoryTracker
+from .bufferpool import BufferPool
+from .cache import CacheStats, ChunkCache
+from .chunkstore import CompressedChunkStore, StoreStats
+from .diskstore import DiskChunkStore
+from .layout import ChunkLayout, GroupPlacement
+from .persist import StoreFormatError, load_store, save_store
+
+__all__ = [
+    "ChunkLayout",
+    "GroupPlacement",
+    "CompressedChunkStore",
+    "DiskChunkStore",
+    "StoreStats",
+    "BufferPool",
+    "ChunkCache",
+    "CacheStats",
+    "MemoryTracker",
+    "MemorySnapshot",
+    "save_store",
+    "load_store",
+    "StoreFormatError",
+]

@@ -1,0 +1,88 @@
+"""Reusable host staging buffers (the paper's "CPU buffers").
+
+The online stage decompresses chunks into a *fixed* set of staging buffers
+rather than allocating per chunk — this is what bounds the uncompressed host
+footprint to ``num_buffers * buffer_size`` regardless of qubit count. The
+pool hands out preallocated complex128 arrays and takes them back; acquiring
+beyond capacity raises, which surfaces scheduling bugs instead of silently
+growing memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from .accounting import MemoryTracker
+
+__all__ = ["BufferPool"]
+
+CATEGORY = "host_buffers"
+
+
+class BufferPool:
+    """Fixed pool of equally-sized complex128 staging buffers."""
+
+    def __init__(
+        self,
+        num_buffers: int,
+        buffer_size: int,
+        tracker: Optional[MemoryTracker] = None,
+    ):
+        if num_buffers < 1:
+            raise ValueError("num_buffers must be >= 1")
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        self.num_buffers = int(num_buffers)
+        self.buffer_size = int(buffer_size)
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self._free: List[np.ndarray] = [
+            np.empty(buffer_size, dtype=np.complex128) for _ in range(num_buffers)
+        ]
+        self._out: Set[int] = set()
+        self.tracker.alloc(CATEGORY, self.total_nbytes)
+        self.peak_in_use = 0
+
+    @property
+    def total_nbytes(self) -> int:
+        return self.num_buffers * self.buffer_size * 16
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.num_buffers - len(self._free)
+
+    def acquire(self) -> np.ndarray:
+        """Take a buffer; contents are unspecified (callers overwrite)."""
+        if not self._free:
+            raise RuntimeError(
+                f"buffer pool exhausted ({self.num_buffers} buffers all in use)"
+            )
+        buf = self._free.pop()
+        self._out.add(id(buf))
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`acquire`."""
+        if id(buf) not in self._out:
+            raise ValueError("buffer does not belong to this pool")
+        self._out.remove(id(buf))
+        self._free.append(buf)
+
+    def close(self) -> None:
+        """Release accounting (pool must be fully returned)."""
+        if self._out:
+            raise RuntimeError(f"{len(self._out)} buffers still in use")
+        self.tracker.free(CATEGORY, self.total_nbytes)
+        self._free.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool {self.num_buffers}x{self.buffer_size} "
+            f"({self.in_use} in use, peak {self.peak_in_use})>"
+        )

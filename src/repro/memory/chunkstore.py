@@ -1,0 +1,262 @@
+"""The compressed host-side chunk store (paper Fig. 2, offline stage).
+
+Every chunk of the state vector lives in host memory *only* in compressed
+form. ``load`` decompresses a chunk into a caller-supplied (or fresh)
+buffer; ``store`` recompresses a buffer back into the blob slot. The store
+never holds more than the blobs plus whatever buffers the caller manages —
+the accounting reflects exactly that.
+
+Zero chunks are the common case early in a simulation (the initial state is
+one nonzero amplitude), so all-zero chunks share one interned blob.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..compression.interface import Compressor
+from .accounting import MemoryTracker
+from .layout import ChunkLayout
+
+__all__ = ["CompressedChunkStore", "StoreStats"]
+
+CATEGORY = "chunk_store"
+
+
+@dataclass
+class StoreStats:
+    """Cumulative codec traffic through the store."""
+
+    loads: int = 0
+    stores: int = 0
+    bytes_decompressed: int = 0
+    bytes_compressed: int = 0
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+
+    def merged(self, other: "StoreStats") -> "StoreStats":
+        return StoreStats(
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            bytes_decompressed=self.bytes_decompressed + other.bytes_decompressed,
+            bytes_compressed=self.bytes_compressed + other.bytes_compressed,
+            compress_seconds=self.compress_seconds + other.compress_seconds,
+            decompress_seconds=self.decompress_seconds + other.decompress_seconds,
+        )
+
+
+class CompressedChunkStore:
+    """Host store keeping every state-vector chunk independently compressed."""
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        compressor: Compressor,
+        tracker: Optional[MemoryTracker] = None,
+    ):
+        self.layout = layout
+        self.compressor = compressor
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.stats = StoreStats()
+        self._blobs: List[Optional[bytes]] = [None] * layout.num_chunks
+        self._zero_blob: Optional[bytes] = None
+        self._zero_refs = 0
+
+    # -- initialization -------------------------------------------------------
+
+    def init_zero_state(self) -> None:
+        """Install |0...0>: chunk 0 has amplitude 1 at offset 0, rest zero."""
+        zeros = np.zeros(self.layout.chunk_size, dtype=np.complex128)
+        self._zero_blob = self._compress(zeros)
+        first = zeros.copy()
+        first[0] = 1.0
+        first_blob = self._compress(first)
+        for k in range(self.layout.num_chunks):
+            self._set_blob(k, self._zero_blob if k else first_blob, shared=k > 0)
+
+    def init_from_statevector(self, data: np.ndarray) -> None:
+        """Chunk and compress an existing dense vector (tests/examples)."""
+        if data.shape != (self.layout.num_amplitudes,):
+            raise ValueError("state vector size mismatch")
+        cs = self.layout.chunk_size
+        for k in range(self.layout.num_chunks):
+            self._set_blob(k, self._compress(
+                np.ascontiguousarray(data[k * cs:(k + 1) * cs])
+            ))
+
+    def init_product_state(self, factors) -> None:
+        """Install a product state without ever densifying.
+
+        ``factors[q]`` is the normalized 2-vector of qubit ``q``. The local
+        part (a kron over the chunk qubits) is built once and scaled per
+        chunk by the product of the global-qubit components the chunk id
+        selects; chunks whose global factor vanishes intern the zero blob.
+        Memory: O(chunk_size), independent of the qubit count.
+        """
+        n = self.layout.num_qubits
+        if len(factors) != n:
+            raise ValueError(f"need {n} single-qubit factors")
+        facs = []
+        for q, f in enumerate(factors):
+            f = np.asarray(f, dtype=np.complex128)
+            if f.shape != (2,):
+                raise ValueError(f"factor {q} is not a 2-vector")
+            if not np.isclose(np.linalg.norm(f), 1.0, atol=1e-9):
+                raise ValueError(f"factor {q} is not normalized")
+            facs.append(f)
+        c = self.layout.chunk_qubits
+        local = np.ones(1, dtype=np.complex128)
+        # kron builds indices with the *first* operand as the most
+        # significant axis, so fold from the highest local qubit down.
+        for q in reversed(range(c)):
+            local = np.kron(local, facs[q])
+        zero_needed = False
+        for k in range(self.layout.num_chunks):
+            scale = 1.0 + 0.0j
+            for q in range(c, n):
+                scale *= facs[q][(k >> (q - c)) & 1]
+            if scale == 0.0:
+                self.zero_chunk(k)
+                continue
+            self._set_blob(k, self._compress(local * scale))
+
+    # -- chunk I/O ---------------------------------------------------------------
+
+    def load(self, chunk: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decompress chunk ``chunk`` into ``out`` (or a new buffer)."""
+        blob = self._blobs[chunk]
+        if blob is None:
+            raise KeyError(f"chunk {chunk} not initialized")
+        t0 = time.perf_counter()
+        arr = self.compressor.decompress(blob)
+        self.stats.decompress_seconds += time.perf_counter() - t0
+        self.stats.loads += 1
+        self.stats.bytes_decompressed += arr.nbytes
+        if arr.shape[0] != self.layout.chunk_size:
+            raise ValueError(
+                f"chunk {chunk} decompressed to {arr.shape[0]} amplitudes, "
+                f"expected {self.layout.chunk_size}"
+            )
+        if out is not None:
+            out[: arr.shape[0]] = arr
+            return out
+        return arr
+
+    def store(self, chunk: int, data: np.ndarray) -> None:
+        """Compress ``data`` into chunk ``chunk``'s slot."""
+        if data.shape[0] != self.layout.chunk_size:
+            raise ValueError("buffer size mismatch")
+        self._set_blob(chunk, self._compress(data))
+
+    def _compress(self, data: np.ndarray) -> bytes:
+        t0 = time.perf_counter()
+        blob = self.compressor.compress(data)
+        self.stats.compress_seconds += time.perf_counter() - t0
+        self.stats.stores += 1
+        self.stats.bytes_compressed += len(blob)
+        return blob
+
+    def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
+        old = self._blobs[chunk]
+        if old is not None:
+            if self._is_shared(chunk):
+                self._zero_refs -= 1
+                if self._zero_refs == 0 and self._zero_blob is not None:
+                    self.tracker.free(CATEGORY, len(self._zero_blob))
+            else:
+                self.tracker.free(CATEGORY, len(old))
+        self._blobs[chunk] = blob
+        if shared:
+            self._zero_refs += 1
+            if self._zero_refs == 1:
+                self.tracker.alloc(CATEGORY, len(blob))
+        else:
+            self.tracker.alloc(CATEGORY, len(blob))
+
+    def _is_shared(self, chunk: int) -> bool:
+        return self._blobs[chunk] is not None and self._blobs[chunk] is self._zero_blob
+
+    def zero_chunk(self, chunk: int) -> None:
+        """Set a chunk to all-zero amplitudes via the interned zero blob.
+
+        Used by measurement collapse on global qubits: discarding a branch
+        zeroes whole chunks without any codec work.
+        """
+        if self._zero_blob is None:
+            zeros = np.zeros(self.layout.chunk_size, dtype=np.complex128)
+            self._zero_blob = self.compressor.compress(zeros)
+        self._set_blob(chunk, self._zero_blob, shared=True)
+
+    def permute(self, perm) -> None:
+        """Relabel chunks: ``new_blob[d] = old_blob[perm[d]]``.
+
+        Executes global-qubit X/SWAP gates on *compressed* data — no codec
+        or transfer traffic. ``perm`` must be a permutation of chunk ids.
+        """
+        if len(perm) != self.layout.num_chunks:
+            raise ValueError("permutation length mismatch")
+        old = list(self._blobs)
+        if sorted(perm) != list(range(len(old))):
+            raise ValueError("not a permutation of chunk ids")
+        for dst, src in enumerate(perm):
+            self._blobs[dst] = old[src]
+
+    # -- blob access (persistence & subclasses) ----------------------------------
+
+    def get_blob(self, chunk: int) -> Optional[bytes]:
+        """Raw compressed blob of a chunk (None if uninitialized)."""
+        return self._blobs[chunk]
+
+    def is_zero_chunk(self, chunk: int) -> bool:
+        """Whether the chunk references the shared zero blob."""
+        return self._is_shared(chunk)
+
+    def zero_blob_bytes(self) -> Optional[bytes]:
+        """The interned all-zero blob, if one exists."""
+        return self._zero_blob
+
+    # -- footprint queries -----------------------------------------------------------
+
+    def compressed_nbytes(self) -> int:
+        """Total unique blob bytes currently held."""
+        seen_zero = False
+        total = 0
+        for blob in self._blobs:
+            if blob is None:
+                continue
+            if blob is self._zero_blob:
+                if not seen_zero:
+                    total += len(blob)
+                    seen_zero = True
+                continue
+            total += len(blob)
+        return total
+
+    def dense_nbytes(self) -> int:
+        return self.layout.num_amplitudes * 16
+
+    def compression_ratio(self) -> float:
+        c = self.compressed_nbytes()
+        return float("inf") if c == 0 else self.dense_nbytes() / c
+
+    def blob_sizes(self) -> List[int]:
+        return [0 if b is None else len(b) for b in self._blobs]
+
+    # -- whole-vector reconstruction (tests / small n) ----------------------------------
+
+    def to_statevector(self) -> np.ndarray:
+        out = np.empty(self.layout.num_amplitudes, dtype=np.complex128)
+        cs = self.layout.chunk_size
+        for k in range(self.layout.num_chunks):
+            out[k * cs:(k + 1) * cs] = self.load(k)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompressedChunkStore {self.layout!r} codec={self.compressor.name} "
+            f"bytes={self.compressed_nbytes():,} ratio={self.compression_ratio():.1f}x>"
+        )

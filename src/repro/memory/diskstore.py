@@ -1,0 +1,210 @@
+"""Out-of-core chunk storage: spill compressed blobs to disk.
+
+The paper keeps the compressed state in CPU memory; when even the
+*compressed* footprint outgrows RAM, the next rung is disk. This store
+keeps blobs in an append-only log file with an in-memory offset index —
+the only RAM cost is ~48 bytes of index per chunk, regardless of state
+size, so the qubit ceiling becomes a function of disk capacity.
+
+Updates append (the old record becomes garbage); when the garbage fraction
+exceeds ``compact_threshold`` the log is rewritten in place. The class
+exposes the same surface as :class:`CompressedChunkStore`, so the
+scheduler, cache, results object and checkpointing all work unchanged on
+top of it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..compression.interface import Compressor
+from .accounting import MemoryTracker
+from .chunkstore import CompressedChunkStore
+from .layout import ChunkLayout
+
+__all__ = ["DiskChunkStore"]
+
+CATEGORY = "disk_store"
+
+
+class DiskChunkStore(CompressedChunkStore):
+    """Chunk store whose blobs live in an on-disk append log.
+
+    Inherits all streaming init/query logic from the in-memory store and
+    overrides only blob placement. The memory tracker's ``disk_store``
+    category records *file* bytes, kept separate from host-RAM categories.
+    """
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        compressor: Compressor,
+        path: Union[str, Path],
+        tracker: Optional[MemoryTracker] = None,
+        compact_threshold: float = 0.5,
+    ):
+        super().__init__(layout, compressor, tracker)
+        if not 0.0 < compact_threshold <= 1.0:
+            raise ValueError("compact_threshold must be in (0, 1]")
+        self.path = Path(path)
+        self.compact_threshold = float(compact_threshold)
+        self._fh = open(self.path, "w+b")
+        # chunk -> (offset, length); -1 length marks "uses the zero blob"
+        self._index: List[Optional[tuple]] = [None] * layout.num_chunks
+        self._zero_record: Optional[tuple] = None
+        self._live_bytes = 0
+        self._file_bytes = 0
+        self.compactions = 0
+
+    # -- blob plumbing (overrides) -------------------------------------------
+
+    def _append(self, blob: bytes) -> tuple:
+        off = self._file_bytes
+        self._fh.seek(off)
+        self._fh.write(blob)
+        self._file_bytes += len(blob)
+        self.tracker.alloc(CATEGORY, len(blob))
+        return (off, len(blob))
+
+    def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
+        old = self._index[chunk]
+        if old is not None and old is not self._zero_record:
+            self._live_bytes -= old[1]
+        if shared:
+            if self._zero_record is None:
+                self._zero_record = self._append(blob)
+                self._live_bytes += self._zero_record[1]
+            self._index[chunk] = self._zero_record
+        else:
+            rec = self._append(blob)
+            self._live_bytes += rec[1]
+            self._index[chunk] = rec
+        self._maybe_compact()
+
+    def load(self, chunk: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        rec = self._index[chunk]
+        if rec is None:
+            raise KeyError(f"chunk {chunk} not initialized")
+        self._fh.seek(rec[0])
+        blob = self._fh.read(rec[1])
+        t0 = time.perf_counter()
+        arr = self.compressor.decompress(blob)
+        self.stats.decompress_seconds += time.perf_counter() - t0
+        self.stats.loads += 1
+        self.stats.bytes_decompressed += arr.nbytes
+        if arr.shape[0] != self.layout.chunk_size:
+            raise ValueError(
+                f"chunk {chunk} decompressed to {arr.shape[0]} amplitudes"
+            )
+        if out is not None:
+            out[: arr.shape[0]] = arr
+            return out
+        return arr
+
+    # -- blob access overrides (the in-memory list stays empty) ----------------
+
+    def get_blob(self, chunk: int):
+        rec = self._index[chunk]
+        if rec is None:
+            return None
+        self._fh.seek(rec[0])
+        return self._fh.read(rec[1])
+
+    def is_zero_chunk(self, chunk: int) -> bool:
+        return (self._index[chunk] is not None
+                and self._index[chunk] is self._zero_record)
+
+    def zero_blob_bytes(self):
+        if self._zero_record is None:
+            return None
+        self._fh.seek(self._zero_record[0])
+        return self._fh.read(self._zero_record[1])
+
+    def compressed_nbytes(self) -> int:
+        return self._live_bytes
+
+    def blob_sizes(self) -> List[int]:
+        return [0 if r is None else r[1] for r in self._index]
+
+    def permute(self, perm) -> None:
+        if len(perm) != self.layout.num_chunks:
+            raise ValueError("permutation length mismatch")
+        if sorted(perm) != list(range(len(perm))):
+            raise ValueError("not a permutation of chunk ids")
+        old_idx = list(self._index)
+        for dst, src in enumerate(perm):
+            self._index[dst] = old_idx[src]
+
+    # -- compaction -----------------------------------------------------------
+
+    @property
+    def file_bytes(self) -> int:
+        return self._file_bytes
+
+    @property
+    def garbage_fraction(self) -> float:
+        if self._file_bytes == 0:
+            return 0.0
+        return 1.0 - self._live_bytes / self._file_bytes
+
+    def _maybe_compact(self) -> None:
+        if self._file_bytes < 1 << 16:
+            return
+        if self.garbage_fraction >= self.compact_threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only live records."""
+        records = {}
+        for rec in self._index:
+            if rec is not None:
+                records.setdefault(id(rec), rec)
+        payloads = {}
+        for key, (off, length) in records.items():
+            self._fh.seek(off)
+            payloads[key] = self._fh.read(length)
+        freed = self._file_bytes
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self._file_bytes = 0
+        self._live_bytes = 0
+        self.tracker.free(CATEGORY, freed)
+        new_pos = {}
+        for key, blob in payloads.items():
+            new_pos[key] = self._append(blob)
+            self._live_bytes += len(blob)
+        for i, rec in enumerate(self._index):
+            if rec is not None:
+                self._index[i] = new_pos[id(rec)]
+        if self._zero_record is not None:
+            # Relocate the shared zero record, or drop it if no chunk
+            # references it anymore (it will be re-appended on demand).
+            self._zero_record = new_pos.get(id(self._zero_record))
+        self.compactions += 1
+
+    def close(self) -> None:
+        self._fh.close()
+        self.tracker.free(CATEGORY, self._file_bytes)
+        self._file_bytes = 0
+        self._live_bytes = 0
+
+    def __enter__(self) -> "DiskChunkStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskChunkStore {self.path.name} file={self._file_bytes:,}B "
+            f"live={self._live_bytes:,}B garbage={self.garbage_fraction:.0%}>"
+        )

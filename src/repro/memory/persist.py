@@ -1,0 +1,123 @@
+"""Persistence for the compressed chunk store (checkpoint/restore).
+
+Because chunks are already compressed byte blobs, a checkpoint is just the
+layout header plus the blob table — the on-disk footprint equals the
+in-memory compressed footprint, and save/load never materializes the dense
+vector. The format is a single self-describing file:
+
+    magic  "MQS1"
+    u32    num_qubits
+    u32    chunk_qubits
+    u32    compressor-name length | name bytes (utf-8)
+    u64    num_chunks
+    per chunk: u64 blob length | blob bytes
+               (length 2^64-1 marks a reference to the shared zero blob,
+                which is stored once up front; length 2^64-2 marks an
+                uninitialized chunk)
+
+Use :func:`save_store` / :func:`load_store`; the loader rebuilds the store
+around a compressor instance you provide (it must match the one that wrote
+the blobs — the name is checked).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+from ..compression.interface import Compressor
+from .accounting import MemoryTracker
+from .chunkstore import CompressedChunkStore
+from .layout import ChunkLayout
+
+__all__ = ["save_store", "load_store", "StoreFormatError"]
+
+_MAGIC = b"MQS1"
+_ZERO_REF = (1 << 64) - 1
+_UNINIT = (1 << 64) - 2
+
+
+class StoreFormatError(ValueError):
+    """Raised for malformed or mismatched checkpoint files."""
+
+
+def save_store(store: CompressedChunkStore, path: Union[str, Path]) -> int:
+    """Write the store to ``path``; returns bytes written."""
+    path = Path(path)
+    name = store.compressor.name.encode("utf-8")
+    parts = [
+        _MAGIC,
+        struct.pack("<II", store.layout.num_qubits, store.layout.chunk_qubits),
+        struct.pack("<I", len(name)),
+        name,
+        struct.pack("<Q", store.layout.num_chunks),
+    ]
+    zero = store.zero_blob_bytes()
+    parts.append(struct.pack("<Q", len(zero) if zero is not None else 0))
+    if zero is not None:
+        parts.append(zero)
+    for k in range(store.layout.num_chunks):
+        if store.is_zero_chunk(k):
+            parts.append(struct.pack("<Q", _ZERO_REF))
+            continue
+        blob = store.get_blob(k)
+        if blob is None:
+            parts.append(struct.pack("<Q", _UNINIT))
+        else:
+            parts.append(struct.pack("<Q", len(blob)))
+            parts.append(blob)
+    data = b"".join(parts)
+    path.write_bytes(data)
+    return len(data)
+
+
+def load_store(
+    path: Union[str, Path],
+    compressor: Compressor,
+    tracker: Optional[MemoryTracker] = None,
+) -> CompressedChunkStore:
+    """Rebuild a store from a checkpoint written by :func:`save_store`."""
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise StoreFormatError("not a MEMQSim store checkpoint")
+    off = 4
+    num_qubits, chunk_qubits = struct.unpack_from("<II", data, off)
+    off += 8
+    (name_len,) = struct.unpack_from("<I", data, off)
+    off += 4
+    name = data[off:off + name_len].decode("utf-8")
+    off += name_len
+    if name != compressor.name:
+        raise StoreFormatError(
+            f"checkpoint was written with compressor {name!r}, "
+            f"got {compressor.name!r}"
+        )
+    (num_chunks,) = struct.unpack_from("<Q", data, off)
+    off += 8
+    layout = ChunkLayout(num_qubits, chunk_qubits)
+    if layout.num_chunks != num_chunks:
+        raise StoreFormatError("chunk count does not match layout")
+    store = CompressedChunkStore(layout, compressor, tracker)
+    (zero_len,) = struct.unpack_from("<Q", data, off)
+    off += 8
+    zero = None
+    if zero_len:
+        zero = data[off:off + zero_len]
+        off += zero_len
+        store._zero_blob = zero
+    for k in range(num_chunks):
+        (blen,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        if blen == _UNINIT:
+            continue
+        if blen == _ZERO_REF:
+            if zero is None:
+                raise StoreFormatError("zero-blob reference without zero blob")
+            store._set_blob(k, zero, shared=True)
+            continue
+        if off + blen > len(data):
+            raise StoreFormatError("truncated checkpoint")
+        store._set_blob(k, data[off:off + blen])
+        off += blen
+    return store

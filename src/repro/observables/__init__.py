@@ -1,0 +1,20 @@
+"""Observables: Pauli-sum Hamiltonians with streamed chunked evaluation."""
+
+from .trotter import append_pauli_rotation, trotterize
+from .pauli_sum import (
+    PauliSum,
+    PauliTerm,
+    heisenberg_hamiltonian,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+)
+
+__all__ = [
+    "PauliSum",
+    "PauliTerm",
+    "maxcut_hamiltonian",
+    "ising_hamiltonian",
+    "heisenberg_hamiltonian",
+    "trotterize",
+    "append_pauli_rotation",
+]

@@ -1,0 +1,208 @@
+"""Pauli-sum observables (Hamiltonians) and their streamed evaluation.
+
+A :class:`PauliSum` is a real-linear combination of Pauli strings —
+the form every VQE/QAOA cost function takes. It evaluates against
+
+* a dense :class:`~repro.statevector.StateVector` (term by term), or
+* a chunked :class:`~repro.core.MemQSimResult` *in one streaming pass*:
+  all terms share each chunk decompression, so evaluating an m-term
+  Hamiltonian costs one pass over the store per distinct X-mask partner
+  set instead of m full passes.
+
+Constructors cover the standard model Hamiltonians the examples use:
+MaxCut from a networkx graph, transverse-field Ising, and Heisenberg XXZ
+chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..statevector.pauli import PauliString, parse_pauli, pauli_phase
+from ..statevector.statevector import StateVector
+
+__all__ = ["PauliTerm", "PauliSum", "maxcut_hamiltonian", "ising_hamiltonian",
+           "heisenberg_hamiltonian"]
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """One weighted Pauli string."""
+
+    coefficient: float
+    pauli: str
+    qubits: Tuple[int, ...]
+
+    def parsed(self) -> PauliString:
+        return parse_pauli(self.pauli, self.qubits)
+
+    def __str__(self) -> str:
+        ops = " ".join(f"{p}{q}" for p, q in zip(self.pauli, self.qubits))
+        return f"{self.coefficient:+g} * {ops}" if ops else f"{self.coefficient:+g}"
+
+
+class PauliSum:
+    """A real-weighted sum of Pauli strings."""
+
+    def __init__(self, terms: Optional[Iterable[PauliTerm]] = None,
+                 constant: float = 0.0):
+        self.terms: List[PauliTerm] = list(terms) if terms is not None else []
+        self.constant = float(constant)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, coefficient: float, pauli: str,
+            qubits: Sequence[int]) -> "PauliSum":
+        """Append a term (validates the string eagerly)."""
+        term = PauliTerm(float(coefficient), pauli.upper(), tuple(qubits))
+        term.parsed()  # raises on malformed input
+        self.terms.append(term)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    @property
+    def num_qubits(self) -> int:
+        return max((t.parsed().num_qubits for t in self.terms), default=0)
+
+    def simplified(self) -> "PauliSum":
+        """Merge duplicate (pauli, qubits) terms; drop near-zero ones."""
+        acc: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+        for t in self.terms:
+            # canonical key: sort by qubit
+            pairs = sorted(zip(t.qubits, t.pauli))
+            key = ("".join(p for _, p in pairs), tuple(q for q, _ in pairs))
+            acc[key] = acc.get(key, 0.0) + t.coefficient
+        out = PauliSum(constant=self.constant)
+        for (pauli, qubits), coef in sorted(acc.items()):
+            if abs(coef) > 1e-15:
+                out.add(coef, pauli, qubits)
+        return out
+
+    # -- evaluation ------------------------------------------------------------
+
+    def expectation_dense(self, sv: StateVector) -> float:
+        """Term-by-term evaluation against a dense state."""
+        total = self.constant
+        for t in self.terms:
+            total += t.coefficient * sv.expectation_pauli(t.pauli, list(t.qubits))
+        return float(total)
+
+    def expectation_chunked(self, result) -> float:
+        """One-pass streamed evaluation against a MemQSimResult.
+
+        Terms are grouped by the *global* part of their X-mask (which
+        decides the chunk partner); within a group every term shares the
+        same pair of decompressed chunks per step.
+        """
+        lay = result.store.layout
+        cq = lay.chunk_qubits
+        cs = lay.chunk_size
+        n = result.num_qubits
+        if self.num_qubits > n:
+            raise ValueError("Hamiltonian touches qubits outside the state")
+        groups: Dict[int, List[Tuple[float, PauliString]]] = {}
+        for t in self.terms:
+            ps = t.parsed()
+            groups.setdefault(ps.x_mask >> cq, []).append((t.coefficient, ps))
+        offs = np.arange(cs, dtype=np.uint64)
+        total = self.constant
+        for k in range(lay.num_chunks):
+            bra = result.store.load(k)
+            bra_conj = bra.conj()
+            idx = offs | np.uint64(k << cq)
+            loaded: Dict[int, np.ndarray] = {0: bra}
+            for gbits, members in groups.items():
+                partner = k ^ gbits
+                ket_chunk = loaded.get(gbits)
+                if ket_chunk is None:
+                    ket_chunk = bra if partner == k else result.store.load(partner)
+                    loaded[gbits] = ket_chunk
+                for coef, ps in members:
+                    local_x = ps.x_mask & (cs - 1)
+                    ket = ket_chunk[offs ^ np.uint64(local_x)]
+                    val = np.sum(bra_conj * pauli_phase(ps, idx) * ket)
+                    total += coef * float(val.real)
+        return float(total)
+
+    def expectation(self, state) -> float:
+        """Dispatch on the state type (StateVector or MemQSimResult)."""
+        if isinstance(state, StateVector):
+            return self.expectation_dense(state)
+        if hasattr(state, "store"):
+            return self.expectation_chunked(state)
+        raise TypeError(f"cannot evaluate against {type(state).__name__}")
+
+    # -- dense matrix (tests, small n) -------------------------------------------
+
+    def to_matrix(self, num_qubits: Optional[int] = None) -> np.ndarray:
+        """Dense operator matrix — exponential, tests only."""
+        n = num_qubits if num_qubits is not None else self.num_qubits
+        if n > 12:
+            raise ValueError("to_matrix is for small systems only")
+        dim = 1 << n
+        single = {
+            "I": np.eye(2, dtype=complex),
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.diag([1.0, -1.0]).astype(complex),
+        }
+        out = self.constant * np.eye(dim, dtype=complex)
+        for t in self.terms:
+            by_qubit = {q: single[p] for p, q in zip(t.pauli, t.qubits)}
+            op = np.eye(1, dtype=complex)
+            for q in reversed(range(n)):
+                op = np.kron(op, by_qubit.get(q, single["I"]))
+            out += t.coefficient * op
+        return out
+
+    def __str__(self) -> str:
+        parts = [str(t) for t in self.terms[:12]]
+        if len(self.terms) > 12:
+            parts.append(f"... (+{len(self.terms) - 12} terms)")
+        if self.constant:
+            parts.insert(0, f"{self.constant:+g}")
+        return " ".join(parts) if parts else "0"
+
+    def __repr__(self) -> str:
+        return f"<PauliSum {len(self.terms)} terms on {self.num_qubits} qubits>"
+
+
+def maxcut_hamiltonian(graph) -> PauliSum:
+    """MaxCut cost: C = sum_edges (1 - Z_u Z_v)/2 (to be *maximized*)."""
+    h = PauliSum()
+    m = graph.number_of_edges()
+    h.constant = m / 2.0
+    for (u, v) in graph.edges():
+        h.add(-0.5, "ZZ", (u, v))
+    return h
+
+
+def ising_hamiltonian(num_qubits: int, j: float = 1.0, g: float = 0.5,
+                      periodic: bool = False) -> PauliSum:
+    """Transverse-field Ising chain: -J sum Z_i Z_{i+1} - g sum X_i."""
+    h = PauliSum()
+    last = num_qubits if periodic else num_qubits - 1
+    for i in range(last):
+        h.add(-j, "ZZ", (i, (i + 1) % num_qubits))
+    for i in range(num_qubits):
+        h.add(-g, "X", (i,))
+    return h
+
+
+def heisenberg_hamiltonian(num_qubits: int, jx: float = 1.0, jy: float = 1.0,
+                           jz: float = 1.0) -> PauliSum:
+    """Heisenberg XXZ chain: sum_i Jx XX + Jy YY + Jz ZZ on neighbours."""
+    h = PauliSum()
+    for i in range(num_qubits - 1):
+        h.add(jx, "XX", (i, i + 1))
+        h.add(jy, "YY", (i, i + 1))
+        h.add(jz, "ZZ", (i, i + 1))
+    return h

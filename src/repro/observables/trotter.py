@@ -1,0 +1,115 @@
+"""Trotterized time evolution for arbitrary Pauli-sum Hamiltonians.
+
+Generalizes the hand-rolled Ising circuit: for any
+:class:`~repro.observables.pauli_sum.PauliSum` ``H``, :func:`trotterize`
+builds a circuit approximating ``exp(-i t H)``.
+
+Each term ``c * P`` with Pauli string ``P`` contributes
+``exp(-i (c t / steps) P)``, synthesized the standard way:
+
+1. basis-rotate every X into Z (via H) and every Y into Z (via S† H... —
+   concretely ``Rx(pi/2)``-style conjugation, here H for X and
+   ``sdg; h`` for Y);
+2. entangle the Z-support with a CX chain onto the last qubit;
+3. apply ``Rz(2 * c * dt)`` on that qubit;
+4. undo the chain and the basis rotations.
+
+First-order (Lie-Trotter) and second-order (Strang / symmetrized) product
+formulas are provided; the second-order error falls as O(dt^2) per step.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits.circuit import Circuit
+from .pauli_sum import PauliSum, PauliTerm
+
+__all__ = ["trotterize", "append_pauli_rotation"]
+
+
+def append_pauli_rotation(circuit: Circuit, pauli: str, qubits, angle: float) -> None:
+    """Append ``exp(-i angle/2 * P)`` for Pauli string ``P`` to ``circuit``.
+
+    Matches the rotation-gate convention (``rz(theta) = exp(-i theta/2 Z)``),
+    so ``angle`` plays the role of ``theta``.
+    """
+    support: List[tuple] = [
+        (ch, q) for ch, q in zip(pauli.upper(), qubits) if ch != "I"
+    ]
+    if not support:
+        # exp(-i angle/2 * I) — a global phase; representable exactly.
+        circuit.add("gphase", 0, params=(-angle / 2.0,))
+        return
+    # 1. rotate each axis into Z
+    for ch, q in support:
+        if ch == "X":
+            circuit.h(q)
+        elif ch == "Y":
+            # |y-basis> -> |z-basis>: Sdg then H
+            circuit.sdg(q)
+            circuit.h(q)
+    zs = [q for _, q in support]
+    # 2. parity chain onto the last support qubit
+    for a, b in zip(zs, zs[1:]):
+        circuit.cx(a, b)
+    # 3. the rotation
+    circuit.rz(angle, zs[-1])
+    # 4. undo
+    for a, b in reversed(list(zip(zs, zs[1:]))):
+        circuit.cx(a, b)
+    for ch, q in reversed(support):
+        if ch == "X":
+            circuit.h(q)
+        elif ch == "Y":
+            circuit.h(q)
+            circuit.s(q)
+
+
+def trotterize(
+    hamiltonian: PauliSum,
+    time: float,
+    steps: int,
+    order: int = 1,
+    num_qubits: int = 0,
+) -> Circuit:
+    """Build a product-formula circuit approximating ``exp(-i * time * H)``.
+
+    Args:
+        hamiltonian: the Pauli-sum Hamiltonian (its constant term only adds
+            a global phase and is skipped).
+        time: total evolution time.
+        steps: Trotter steps; error falls as 1/steps (order 1) or
+            1/steps^2 (order 2).
+        order: 1 = Lie-Trotter, 2 = Strang splitting (symmetrized).
+        num_qubits: register size (default: the Hamiltonian's extent).
+
+    Returns:
+        the evolution circuit.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if order not in (1, 2):
+        raise ValueError("order must be 1 or 2")
+    n = num_qubits if num_qubits else hamiltonian.num_qubits
+    if n < 1:
+        raise ValueError("Hamiltonian acts on no qubits")
+    if hamiltonian.num_qubits > n:
+        raise ValueError("num_qubits smaller than the Hamiltonian's extent")
+    dt = time / steps
+    c = Circuit(n, name=f"trotter-o{order}x{steps}")
+    terms: List[PauliTerm] = list(hamiltonian.terms)
+
+    def half_sweep(scale: float, reverse: bool = False) -> None:
+        seq = reversed(terms) if reverse else terms
+        for t in seq:
+            # exp(-i (coef * scale) P) = rotation with theta = 2*coef*scale
+            append_pauli_rotation(c, t.pauli, t.qubits, 2.0 * t.coefficient * scale)
+
+    for _ in range(steps):
+        if order == 1:
+            half_sweep(dt)
+        else:
+            half_sweep(dt / 2.0)
+            half_sweep(dt / 2.0, reverse=True)
+    return c

@@ -1,0 +1,24 @@
+"""Pipeline: offline planner, online scheduler, CPU offload policy."""
+
+from .autotune import TuneReport, autotune_chunk_qubits
+from .cpu_offload import OffloadAdvice, advise_from_timeline, balanced_offload_fraction
+from .planner import PlanReport, describe_plan, max_group_qubits_for, plan_stages
+from .scheduler import StageScheduler, remap_gate_for_group, restrict_diagonal
+from .stages import GateStage, PermutationStage
+
+__all__ = [
+    "GateStage",
+    "PermutationStage",
+    "plan_stages",
+    "max_group_qubits_for",
+    "describe_plan",
+    "PlanReport",
+    "StageScheduler",
+    "remap_gate_for_group",
+    "restrict_diagonal",
+    "OffloadAdvice",
+    "balanced_offload_fraction",
+    "advise_from_timeline",
+    "autotune_chunk_qubits",
+    "TuneReport",
+]

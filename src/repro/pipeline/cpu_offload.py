@@ -1,0 +1,69 @@
+"""Idle-core CPU offload policy (paper step (5)).
+
+While the GPU processes its groups, idle CPU cores can decompress, update
+and recompress other groups entirely host-side. The *fraction* of groups to
+route to the CPU determines the balance; this module provides the split
+heuristic the configuration layer uses.
+
+The balanced split equalizes the two paths' per-group costs:
+
+    f* = cpu_cores_available * r  /  (1 + cpu_cores_available * r)
+
+where ``r = t_gpu_path / t_cpu_path`` is the ratio of measured per-group
+costs (GPU path: decompress + H2D + kernel + D2H + compress, with codec
+work overlappable; CPU path: decompress + update + compress on one core).
+When the CPU path is much slower (r small) the optimum sends little work to
+the CPU; with several idle cores it grows proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.timeline import Stage, Timeline
+
+__all__ = ["OffloadAdvice", "balanced_offload_fraction", "advise_from_timeline"]
+
+
+@dataclass(frozen=True)
+class OffloadAdvice:
+    """Recommended CPU share plus the inputs that produced it."""
+
+    fraction: float
+    gpu_path_seconds_per_group: float
+    cpu_path_seconds_per_group: float
+    idle_cores: int
+
+
+def balanced_offload_fraction(
+    gpu_seconds_per_group: float,
+    cpu_seconds_per_group: float,
+    idle_cores: int,
+) -> float:
+    """Fraction of groups the CPU should take to finish with the GPU."""
+    if idle_cores <= 0 or cpu_seconds_per_group <= 0.0:
+        return 0.0
+    if gpu_seconds_per_group <= 0.0:
+        return 1.0
+    r = gpu_seconds_per_group / cpu_seconds_per_group
+    f = idle_cores * r / (1.0 + idle_cores * r)
+    return min(1.0, max(0.0, f))
+
+
+def advise_from_timeline(timeline: Timeline, idle_cores: int) -> OffloadAdvice:
+    """Derive the split from a profiling run's measured events.
+
+    GPU-path per-group cost is the mean H2D + KERNEL + D2H duration; the
+    codec work is excluded because it overlaps with transfers in the
+    pipelined schedule. CPU-path cost per group is approximated by the mean
+    decompress + compress + kernel cost (the update is the same arithmetic
+    either way on this simulated device).
+    """
+    def mean(stage: Stage) -> float:
+        evs = [e.duration for e in timeline.events if e.stage == stage]
+        return sum(evs) / len(evs) if evs else 0.0
+
+    gpu_per_group = mean(Stage.H2D) + mean(Stage.KERNEL) + mean(Stage.D2H)
+    cpu_per_group = mean(Stage.DECOMPRESS) + mean(Stage.COMPRESS) + mean(Stage.KERNEL)
+    f = balanced_offload_fraction(gpu_per_group, cpu_per_group, idle_cores)
+    return OffloadAdvice(f, gpu_per_group, cpu_per_group, idle_cores)

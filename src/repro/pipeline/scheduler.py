@@ -1,0 +1,344 @@
+"""The online stage: stream chunk groups through the codec/transfer/kernel
+pipeline (paper Fig. 1 steps (1)-(6)).
+
+For every :class:`GateStage` the scheduler iterates the chunk groups given
+by the layout. Each group pass performs, with each phase *measured* and
+recorded on the timeline:
+
+1. DECOMPRESS — load the group's chunks from the compressed store into a
+   staging buffer (one slot per chunk);
+2. H2D — upload the group buffer to the device arena;
+3. KERNEL — apply the stage's gates, with global qubits remapped to their
+   virtual in-buffer positions and diagonals restricted per group;
+4. D2H — download the updated amplitudes;
+5. COMPRESS — recompress each chunk back into the store.
+
+A configurable fraction of groups instead takes the **CPU path** (paper
+step (5)): decompress, update with the same kernels on the host, recompress
+— recorded as CPU_UPDATE work so the overlap model can place it on idle
+cores. :class:`PermutationStage`s relabel compressed blobs directly.
+
+The scheduler executes serially (this machine has one core and no GPU) and
+the pipelined makespan is computed afterwards by
+:class:`repro.device.timeline.PipelineModel` from the measured events.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate, make_diagonal_gate
+from ..device.timeline import Stage, Timeline
+from ..memory.bufferpool import BufferPool
+from ..memory.chunkstore import CompressedChunkStore
+from ..memory.layout import ChunkLayout, GroupPlacement
+from ..statevector.kernels import apply_circuit_gate
+from .stages import GateStage, PermutationStage
+
+__all__ = ["StageScheduler", "remap_gate_for_group", "restrict_diagonal"]
+
+
+def restrict_diagonal(
+    diag: np.ndarray,
+    qubits: Tuple[int, ...],
+    fixed_bits: Dict[int, int],
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Restrict a diagonal gate to the qubits not fixed by the chunk id.
+
+    Args:
+        diag: length ``2^k`` diagonal over ``qubits``.
+        qubits: the gate's qubits (first = LSB of the diagonal index).
+        fixed_bits: qubit -> bit value for qubits whose value the chunk id
+            determines (global qubits outside the group).
+
+    Returns:
+        (restricted diagonal, remaining qubits) — the diagonal over the
+        non-fixed qubits with fixed bits substituted.
+    """
+    remaining = tuple(q for q in qubits if q not in fixed_bits)
+    r = len(remaining)
+    base = 0
+    for j, q in enumerate(qubits):
+        if q in fixed_bits and fixed_bits[q]:
+            base |= 1 << j
+    if r == len(qubits):
+        return diag, qubits
+    idx = np.full(1 << r, base, dtype=np.int64)
+    u = np.arange(1 << r, dtype=np.int64)
+    pos = 0
+    for j, q in enumerate(qubits):
+        if q not in fixed_bits:
+            idx |= ((u >> pos) & 1) << j
+            pos += 1
+    return diag[idx], remaining
+
+
+def remap_gate_for_group(
+    gate: Gate,
+    layout: ChunkLayout,
+    placement: GroupPlacement,
+    group_base_chunk: int,
+) -> Optional[Gate]:
+    """Rewrite ``gate`` to act on a concatenated group buffer.
+
+    Local qubits keep their positions; group qubits move to their virtual
+    positions; diagonal gates get global-out-of-group qubits substituted
+    from the chunk id. Returns ``None`` when a restricted diagonal turns out
+    to be the identity for this group.
+    """
+    d = gate.diag if gate.diag is not None else (
+        np.diag(gate.matrix) if _is_diag_gate(gate) else None
+    )
+    in_group = set(placement.group_qubits)
+    if d is not None:
+        fixed = {}
+        for q in gate.qubits:
+            if not layout.is_local(q) and q not in in_group:
+                bit_pos = q - layout.chunk_qubits
+                fixed[q] = (group_base_chunk >> bit_pos) & 1
+        rd, remaining = restrict_diagonal(d, gate.qubits, fixed)
+        if not remaining:
+            # Fully determined by the chunk id: a global phase rd[0].
+            # Tolerances must be essentially exact — dropping a 1e-6
+            # rotation would be a correctness bug, not an optimization.
+            if np.isclose(rd[0], 1.0, rtol=0.0, atol=1e-15):
+                return None
+            scaled = np.array([rd[0], rd[0]], dtype=np.complex128)
+            return make_diagonal_gate((0,), scaled, name="gphase_restricted")
+        mapping = {}
+        for q in remaining:
+            if layout.is_local(q):
+                mapping[q] = q
+            else:
+                i = placement.group_qubits.index(q)
+                mapping[q] = placement.virtual_positions[i]
+        vq = tuple(mapping[q] for q in remaining)
+        if np.allclose(rd, 1.0, rtol=0.0, atol=1e-15):
+            return None
+        return make_diagonal_gate(vq, rd, name=f"{gate.name}_restricted")
+    # Non-diagonal: every global qubit must be in the group.
+    vq = layout.gate_virtual_qubits(gate.qubits, placement)
+    if vq == gate.qubits:
+        return gate
+    mapping = dict(zip(gate.qubits, vq))
+    return gate.remapped(mapping)
+
+
+def _is_diag_gate(gate: Gate) -> bool:
+    from .planner import _gate_is_diagonal
+
+    return _gate_is_diagonal(gate)
+
+
+def _fuse_adjacent_1q(gates: List[Gate]) -> List[Gate]:
+    """Merge runs of non-diagonal 1q gates per qubit into one unitary.
+
+    Saves kernel launches inside a group pass (compute less — the same
+    optimization the dense baseline offers, applied post-remapping so it
+    works on virtual qubit positions too).
+    """
+    import numpy as np
+
+    from ..circuits.gates import make_gate
+
+    out: List[Gate] = []
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(q: int) -> None:
+        m = pending.pop(q, None)
+        if m is not None:
+            out.append(make_gate("unitary", (q,), (), m))
+
+    for g in gates:
+        if g.num_qubits == 1:
+            # 1q diagonals densify to 2x2 for free, so they fuse too.
+            q = g.qubits[0]
+            prev = pending.get(q)
+            pending[q] = g.matrix @ prev if prev is not None else g.matrix
+        else:
+            for q in g.qubits:
+                flush(q)
+            out.append(g)
+    for q in sorted(pending):
+        flush(q)
+    return out
+
+
+@dataclass
+class SchedulerStats:
+    """Counters the results object surfaces."""
+
+    group_passes: int = 0
+    cpu_group_passes: int = 0
+    permutation_stages: int = 0
+    gates_applied: int = 0
+    gates_skipped_identity: int = 0
+
+
+class StageScheduler:
+    """Executes planned stages against a store + device executor."""
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        store: CompressedChunkStore,
+        executor,
+        pool: BufferPool,
+        timeline: Optional[Timeline] = None,
+        cpu_offload_fraction: float = 0.0,
+        fuse_gates: bool = False,
+        serpentine: bool = False,
+    ):
+        """``executor`` is one DeviceExecutor or a sequence of them; with
+        several, chunk groups are distributed round-robin (simulated
+        multi-device execution — the overlap model then runs the kernel
+        and bus events on as many lanes as there are devices).
+        ``serpentine`` alternates the group sweep direction per stage so a
+        bounded chunk cache keeps hitting across stage boundaries."""
+        if not 0.0 <= cpu_offload_fraction <= 1.0:
+            raise ValueError("cpu_offload_fraction must be in [0, 1]")
+        self.layout = layout
+        self.store = store
+        executors = list(executor) if isinstance(executor, (list, tuple)) \
+            else [executor]
+        if not executors:
+            raise ValueError("need at least one executor")
+        self.executors = executors
+        self.executor = executors[0]
+        self.pool = pool
+        self.timeline = timeline if timeline is not None else \
+            self.executor.timeline
+        self.cpu_offload_fraction = cpu_offload_fraction
+        self.fuse_gates = bool(fuse_gates)
+        self.serpentine = bool(serpentine)
+        self._stage_parity = 0
+        self.stats = SchedulerStats()
+
+    def _executor_for(self, gi: int):
+        return self.executors[gi % len(self.executors)]
+
+    # -- public ---------------------------------------------------------------
+
+    def run_stage(self, stage) -> None:
+        if isinstance(stage, PermutationStage):
+            self._run_permutation(stage)
+        elif isinstance(stage, GateStage):
+            self._run_gate_stage(stage)
+        else:
+            raise TypeError(f"unknown stage type {type(stage).__name__}")
+
+    def run(self, stages: Sequence[object]) -> None:
+        for s in stages:
+            self.run_stage(s)
+
+    # -- permutation stages ---------------------------------------------------------
+
+    def _run_permutation(self, stage: PermutationStage) -> None:
+        t0 = time.perf_counter()
+        self.store.permute(stage.perm)
+        self.timeline.record(Stage.CPU_UPDATE, time.perf_counter() - t0, -1, 0)
+        self.stats.permutation_stages += 1
+        self.stats.gates_applied += len(stage.gates)
+
+    # -- gate stages -------------------------------------------------------------------
+
+    def _run_gate_stage(self, stage: GateStage) -> None:
+        placement = self.layout.chunk_groups(stage.group_qubits)
+        group_size = self.layout.chunk_size << len(placement.group_qubits)
+        cs = self.layout.chunk_size
+        n_groups = len(placement.groups)
+        cpu_every = 0
+        if self.cpu_offload_fraction > 0.0:
+            cpu_every = max(1, round(1.0 / self.cpu_offload_fraction)) \
+                if self.cpu_offload_fraction < 1.0 else 1
+        order = list(enumerate(placement.groups))
+        if self.serpentine:
+            # Alternate sweep direction per stage: the chunks touched last
+            # are touched first next stage, so a bounded cache keeps hitting
+            # (boustrophedon order — the locality fix for cyclic sweeps).
+            self._stage_parity ^= 1
+            if self._stage_parity == 0:
+                order.reverse()
+        for gi, members in order:
+            cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
+            gates = self._gates_for_group(stage, placement, members[0])
+            if cpu_path:
+                self._run_group_cpu(gi, members, gates, group_size)
+            else:
+                self._run_group_device(gi, members, gates, group_size)
+            self.stats.group_passes += 1
+
+    def _gates_for_group(self, stage: GateStage, placement: GroupPlacement,
+                         base_chunk: int) -> List[Gate]:
+        out = []
+        for g in stage.gates:
+            rg = remap_gate_for_group(g, self.layout, placement, base_chunk)
+            if rg is None:
+                self.stats.gates_skipped_identity += 1
+            else:
+                out.append(rg)
+        if self.fuse_gates:
+            out = _fuse_adjacent_1q(out)
+        return out
+
+    def _load_group(self, gi: int, members: Tuple[int, ...], buf: np.ndarray) -> None:
+        # Events carry the *group* id so the overlap model chains each
+        # group's decompress -> h2d -> kernel -> d2h -> compress pass.
+        cs = self.layout.chunk_size
+        for slot, chunk in enumerate(members):
+            t0 = time.perf_counter()
+            self.store.load(chunk, out=buf[slot * cs:(slot + 1) * cs])
+            self.timeline.record(
+                Stage.DECOMPRESS, time.perf_counter() - t0, gi, cs * 16
+            )
+
+    def _store_group(self, gi: int, members: Tuple[int, ...], buf: np.ndarray) -> None:
+        cs = self.layout.chunk_size
+        for slot, chunk in enumerate(members):
+            t0 = time.perf_counter()
+            self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
+            self.timeline.record(
+                Stage.COMPRESS, time.perf_counter() - t0, gi, cs * 16
+            )
+
+    def _run_group_device(self, gi: int, members: Tuple[int, ...],
+                          gates: List[Gate], group_size: int) -> None:
+        executor = self._executor_for(gi)
+        buf = self.pool.acquire()
+        try:
+            view = buf[:group_size]
+            self._load_group(gi, members, view)
+            dev = executor.alloc(group_size)
+            try:
+                executor.upload(view, dev, gi)
+                if gates:
+                    executor.run_gates(dev, gates, gi)
+                    self.stats.gates_applied += len(gates)
+                executor.download(dev, view, gi)
+            finally:
+                executor.free(dev)
+            self._store_group(gi, members, view)
+        finally:
+            self.pool.release(buf)
+
+    def _run_group_cpu(self, gi: int, members: Tuple[int, ...],
+                       gates: List[Gate], group_size: int) -> None:
+        buf = self.pool.acquire()
+        try:
+            view = buf[:group_size]
+            self._load_group(gi, members, view)
+            t0 = time.perf_counter()
+            for g in gates:
+                apply_circuit_gate(view, g)
+            self.timeline.record(
+                Stage.CPU_UPDATE, time.perf_counter() - t0, gi, group_size * 16
+            )
+            self.stats.gates_applied += len(gates)
+            self.stats.cpu_group_passes += 1
+            self._store_group(gi, members, view)
+        finally:
+            self.pool.release(buf)

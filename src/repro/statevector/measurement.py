@@ -1,0 +1,94 @@
+"""Measurement: sampling, collapse, and counts.
+
+Sampling never builds per-shot copies of the state — it draws from the
+probability vector with an inverse-CDF search (vectorized ``searchsorted``),
+which is exact for terminal measurement. Mid-circuit measurement collapses
+the state in place.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .statevector import StateVector
+
+__all__ = ["sample_counts", "sample_outcomes", "measure_qubit", "expectation_z"]
+
+
+def sample_outcomes(
+    sv: StateVector, shots: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Draw ``shots`` basis-state indices from ``|amp|^2``."""
+    if shots < 0:
+        raise ValueError("shots must be >= 0")
+    if rng is None:
+        rng = np.random.default_rng()
+    probs = sv.probabilities()
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        probs = probs / total
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0
+    u = rng.random(shots)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+
+def sample_counts(
+    sv: StateVector,
+    shots: int,
+    qubits: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, int]:
+    """Histogram of measurement bitstrings (qubit 0 rightmost).
+
+    If ``qubits`` is given, outcomes are restricted to those qubits, with
+    ``qubits[0]`` as the rightmost character.
+    """
+    outcomes = sample_outcomes(sv, shots, rng)
+    n = sv.num_qubits
+    if qubits is None:
+        width = n
+        keys = [format(int(o), f"0{width}b") for o in outcomes]
+    else:
+        width = len(qubits)
+        reduced = np.zeros_like(outcomes)
+        for j, q in enumerate(qubits):
+            reduced |= ((outcomes >> q) & 1) << j
+        keys = [format(int(o), f"0{width}b") for o in reduced]
+    return dict(Counter(keys))
+
+
+def measure_qubit(
+    sv: StateVector, qubit: int, rng: Optional[np.random.Generator] = None
+) -> int:
+    """Projectively measure one qubit, collapsing ``sv`` in place.
+
+    Returns the observed bit. The state is renormalized.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    n = sv.num_qubits
+    if not 0 <= qubit < n:
+        raise ValueError(f"qubit {qubit} out of range")
+    view = sv.data.reshape(-1, 2, 1 << qubit)
+    p1 = float(np.sum(np.abs(view[:, 1, :]) ** 2))
+    p1 = min(1.0, max(0.0, p1))
+    bit = 1 if rng.random() < p1 else 0
+    keep = p1 if bit == 1 else 1.0 - p1
+    if keep <= 0.0:
+        # Numerically impossible branch drawn; fall back to the certain one.
+        bit = 1 - bit
+        keep = 1.0 - keep
+    view[:, 1 - bit, :] = 0.0
+    sv.data /= np.sqrt(keep)
+    return bit
+
+
+def expectation_z(sv: StateVector, qubit: int) -> float:
+    """⟨Z_q⟩ computed from the marginal without building an operator."""
+    view = sv.data.reshape(-1, 2, 1 << qubit)
+    p1 = float(np.sum(np.abs(view[:, 1, :]) ** 2))
+    return 1.0 - 2.0 * p1

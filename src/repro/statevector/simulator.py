@@ -1,0 +1,137 @@
+"""The dense full-memory baseline simulator (SV-Sim stand-in).
+
+:class:`DenseSimulator` holds the entire ``2^n`` state vector in one
+contiguous array and applies gates through the vectorized kernels. It is
+
+* the correctness oracle every MEMQSim configuration is tested against, and
+* the "no compression, unlimited memory" baseline in the end-to-end
+  benchmarks (experiment A3 in DESIGN.md).
+
+Optional adjacent single-qubit gate fusion (guide idiom: compute less) merges
+runs of 1q gates on the same qubit into one 2x2 matmul.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from .kernels import apply_gate, apply_stored_diagonal, fuse_1q_matrices
+from .measurement import sample_counts
+from .statevector import StateVector
+
+__all__ = ["DenseSimulator", "DenseRunStats"]
+
+
+@dataclass
+class DenseRunStats:
+    """Timing and size accounting for one dense run."""
+
+    num_qubits: int = 0
+    num_gates: int = 0
+    num_fused_groups: int = 0
+    wall_time_s: float = 0.0
+    peak_bytes: int = 0
+    per_gate_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class DenseSimulator:
+    """Full in-memory state-vector simulator."""
+
+    def __init__(self, fuse_single_qubit_gates: bool = False):
+        self.fuse_single_qubit_gates = bool(fuse_single_qubit_gates)
+        self.last_stats: Optional[DenseRunStats] = None
+
+    # -- public API -------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state: Optional[StateVector] = None,
+    ) -> StateVector:
+        """Execute ``circuit`` and return the final state."""
+        sv = (
+            initial_state.copy()
+            if initial_state is not None
+            else StateVector(circuit.num_qubits)
+        )
+        if sv.num_qubits != circuit.num_qubits:
+            raise ValueError("initial state size does not match circuit")
+        stats = DenseRunStats(
+            num_qubits=circuit.num_qubits,
+            num_gates=len(circuit),
+            peak_bytes=sv.nbytes,
+        )
+        t0 = time.perf_counter()
+        groups = self._plan(circuit)
+        stats.num_fused_groups = len(groups)
+        for kind, payload, qubits, name in groups:
+            g0 = time.perf_counter()
+            if kind == "diag":
+                apply_stored_diagonal(sv.data, payload, qubits)
+            else:
+                apply_gate(sv.data, payload, qubits, circuit.num_qubits)
+            dt = time.perf_counter() - g0
+            stats.per_gate_seconds[name] = stats.per_gate_seconds.get(name, 0.0) + dt
+        stats.wall_time_s = time.perf_counter() - t0
+        self.last_stats = stats
+        return sv
+
+    def sample(
+        self,
+        circuit: Circuit,
+        shots: int,
+        seed: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Run and sample measurement outcomes on all qubits."""
+        sv = self.run(circuit)
+        return sample_counts(sv, shots, rng=np.random.default_rng(seed))
+
+    def expectation(self, circuit: Circuit, pauli: str,
+                    qubits: Optional[Sequence[int]] = None) -> float:
+        return self.run(circuit).expectation_pauli(pauli, qubits)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(self, circuit: Circuit):
+        """Return ``(kind, payload, qubits, name)`` records to execute.
+
+        ``kind`` is ``"mat"`` (payload = unitary matrix) or ``"diag"``
+        (payload = stored diagonal vector). With fusion enabled, consecutive
+        single-qubit gates on the same qubit (with no intervening gate
+        touching that qubit) collapse into one matrix.
+        """
+
+        def record(g: Gate):
+            if g.diag is not None:
+                return ("diag", g.diag, g.qubits, g.name)
+            return ("mat", g.matrix, g.qubits, g.name)
+
+        if not self.fuse_single_qubit_gates:
+            return [record(g) for g in circuit]
+        out = []
+        pending: Dict[int, List[np.ndarray]] = {}
+
+        def flush(q: int) -> None:
+            mats = pending.pop(q, None)
+            if mats:
+                if len(mats) == 1:
+                    out.append(("mat", mats[0], (q,), "fused1q"))
+                else:
+                    out.append(("mat", fuse_1q_matrices(mats), (q,), "fused1q"))
+
+        for g in circuit:
+            if g.num_qubits == 1 and g.diag is None:
+                pending.setdefault(g.qubits[0], []).append(g.matrix)
+            else:
+                for q in g.qubits:
+                    flush(q)
+                out.append(record(g))
+        for q in list(pending):
+            flush(q)
+        return out

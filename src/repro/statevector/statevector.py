@@ -1,0 +1,166 @@
+"""The :class:`StateVector` wrapper.
+
+Owns a dense complex amplitude array and provides the quantum-state queries
+the rest of the system needs: norm, probabilities, marginals, fidelity,
+Pauli-string expectation values and basis-state formatting. Gate application
+lives in :mod:`repro.statevector.kernels`; simulators mutate the underlying
+array in place through :attr:`StateVector.data`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["StateVector"]
+
+_CDTYPE = np.complex128
+
+
+class StateVector:
+    """A dense ``2^n`` complex state vector in little-endian convention."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = int(num_qubits)
+        dim = 1 << self.num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=_CDTYPE)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=_CDTYPE)
+            if data.shape != (dim,):
+                raise ValueError(f"data shape {data.shape} != ({dim},)")
+            self.data = np.ascontiguousarray(data)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "StateVector":
+        return cls(num_qubits)
+
+    @classmethod
+    def basis_state(cls, num_qubits: int, index: int) -> "StateVector":
+        sv = cls(num_qubits)
+        sv.data[0] = 0.0
+        sv.data[index] = 1.0
+        return sv
+
+    @classmethod
+    def from_bitstring(cls, bits: str) -> "StateVector":
+        """Bitstring with qubit 0 rightmost (e.g. ``"10"`` = qubit1=1)."""
+        n = len(bits)
+        return cls.basis_state(n, int(bits, 2))
+
+    @classmethod
+    def random_state(cls, num_qubits: int, seed: Optional[int] = None) -> "StateVector":
+        rng = np.random.default_rng(seed)
+        dim = 1 << num_qubits
+        v = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+        v /= np.linalg.norm(v)
+        return cls(num_qubits, v)
+
+    def copy(self) -> "StateVector":
+        return StateVector(self.num_qubits, self.data.copy())
+
+    # -- basic queries ----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.data))
+
+    def normalize(self) -> "StateVector":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        self.data /= n
+        return self
+
+    def probabilities(self) -> np.ndarray:
+        p = np.abs(self.data)
+        np.square(p, out=p)
+        return p
+
+    def probability_of(self, index: int) -> float:
+        a = self.data[index]
+        return float((a * a.conjugate()).real)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Joint distribution over ``qubits`` (first listed = LSB of outcome)."""
+        n = self.num_qubits
+        probs = self.probabilities().reshape((2,) * n)
+        keep_axes = [n - 1 - q for q in qubits]
+        drop_axes = tuple(a for a in range(n) if a not in keep_axes)
+        marg = probs.sum(axis=drop_axes) if drop_axes else probs
+        # Remaining axes are ordered by descending qubit index; transpose so
+        # the first listed qubit becomes the least significant (last) axis.
+        kept_sorted = sorted(qubits, reverse=True)
+        perm = [kept_sorted.index(q) for q in reversed(qubits)]
+        marg = np.transpose(marg, perm)
+        return np.ascontiguousarray(marg).reshape(-1)
+
+    def fidelity(self, other: "StateVector") -> float:
+        """``|<self|other>|^2`` for pure states."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit counts differ")
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def inner(self, other: "StateVector") -> complex:
+        return complex(np.vdot(self.data, other.data))
+
+    def trace_distance_bound(self, other: "StateVector") -> float:
+        """sqrt(1 - F): an upper-style proxy for pure-state trace distance."""
+        f = min(1.0, self.fidelity(other))
+        return math.sqrt(1.0 - f)
+
+    # -- expectation values -----------------------------------------------------
+
+    def expectation_pauli(self, pauli: str, qubits: Optional[Sequence[int]] = None) -> float:
+        """Expectation of a Pauli string.
+
+        ``pauli`` is a string over ``IXYZ``; ``qubits[i]`` is the qubit acted
+        on by ``pauli[i]`` (defaults to ``0..len-1``). Computed without
+        building the full operator: Z factors become index-parity signs, and
+        X/Y factors become an index permutation plus phases.
+        """
+        from .pauli import parse_pauli, pauli_phase
+
+        ps = parse_pauli(pauli, qubits)
+        if ps.num_qubits > self.num_qubits:
+            raise ValueError("Pauli string touches qubits outside the state")
+        idx = np.arange(self.dim, dtype=np.uint64)
+        ket = self.data[idx ^ np.uint64(ps.x_mask)]
+        val = self.data.conj() * pauli_phase(ps, idx) * ket
+        return float(complex(val.sum()).real)
+
+    # -- formatting -----------------------------------------------------------
+
+    def to_dict(self, cutoff: float = 1e-12) -> Dict[str, complex]:
+        """Map bitstring (qubit 0 rightmost) -> amplitude, above ``cutoff``."""
+        out: Dict[str, complex] = {}
+        n = self.num_qubits
+        for i in np.flatnonzero(np.abs(self.data) > cutoff):
+            out[format(int(i), f"0{n}b")] = complex(self.data[i])
+        return out
+
+    def __str__(self) -> str:
+        terms = []
+        for bits, amp in sorted(self.to_dict(cutoff=1e-6).items()):
+            terms.append(f"({amp.real:+.4f}{amp.imag:+.4f}j)|{bits}>")
+            if len(terms) >= 8:
+                terms.append("...")
+                break
+        return " + ".join(terms) if terms else "0"
+
+    def __repr__(self) -> str:
+        return f"<StateVector n={self.num_qubits} norm={self.norm():.6f}>"

@@ -1,0 +1,96 @@
+"""Unit tests for the analysis helpers (fidelity comparisons, report tables)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, compare_states, format_bytes, format_seconds
+
+
+class TestCompareStates:
+    def test_identical(self):
+        v = np.array([1, 0, 0, 0], dtype=complex)
+        c = compare_states(v, v.copy())
+        assert c.fidelity == pytest.approx(1.0)
+        assert c.l2_error == 0.0
+        assert c.tv_distance == 0.0
+
+    def test_orthogonal(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([0, 1], dtype=complex)
+        c = compare_states(a, b)
+        assert c.fidelity == pytest.approx(0.0)
+        assert c.tv_distance == pytest.approx(1.0)
+
+    def test_global_phase_invariant_fidelity(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        v /= np.linalg.norm(v)
+        c = compare_states(v, v * np.exp(0.7j))
+        assert c.fidelity == pytest.approx(1.0, abs=1e-12)
+
+    def test_unnormalized_inputs_handled(self):
+        v = np.array([2, 0], dtype=complex)
+        c = compare_states(v, v * 3)
+        assert c.fidelity == pytest.approx(1.0)
+        assert c.norm_exact == pytest.approx(2.0)
+        assert c.norm_approx == pytest.approx(6.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_states(np.zeros(2, dtype=complex), np.zeros(4, dtype=complex))
+
+    def test_zero_norm_rejected(self):
+        with pytest.raises(ValueError):
+            compare_states(np.zeros(2, dtype=complex), np.ones(2, dtype=complex))
+
+    def test_row_renders(self):
+        v = np.array([1, 0], dtype=complex)
+        assert "F=" in compare_states(v, v).row()
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5e-9).endswith("ns")
+        assert format_seconds(2.5e-6).endswith("us")
+        assert format_seconds(2.5e-3).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-0.001).startswith("-")
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(512) == "512 B"
+        assert "KiB" in format_bytes(2048)
+        assert "MiB" in format_bytes(5 << 20)
+        assert "GiB" in format_bytes(3 << 30)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add("a", 1)
+        t.add("longer-name", 23456)
+        out = t.render()
+        assert "demo" in out
+        assert "longer-name" in out
+        lines = out.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add("x,y", 2)
+        csv = t.csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;y" in csv  # commas inside cells escaped
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add(1)
+        assert str(t) == t.render()

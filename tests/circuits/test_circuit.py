@@ -1,0 +1,145 @@
+"""Unit tests for repro.circuits.circuit."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, make_gate
+from repro.statevector import DenseSimulator
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = Circuit(3)
+        assert len(c) == 0
+        assert c.depth() == 0
+        assert c.num_qubits == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_builder_chain(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert [g.name for g in c] == ["h", "cx"]
+
+    def test_out_of_range_gate_rejected(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.h(2)
+        with pytest.raises(ValueError):
+            c.append(make_gate("h", (5,)))
+
+    def test_all_builder_methods(self):
+        c = Circuit(3)
+        c.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0).sxdg(0)
+        c.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u(0.1, 0.2, 0.3, 0)
+        c.cx(0, 1).cy(0, 1).cz(0, 1).ch(0, 1).cp(0.5, 0, 1)
+        c.crx(0.1, 0, 1).cry(0.2, 0, 1).crz(0.3, 0, 1)
+        c.swap(0, 1).iswap(0, 1).rxx(0.1, 0, 1).ryy(0.2, 0, 1).rzz(0.3, 0, 1)
+        c.fsim(0.4, 0.5, 0, 1).ccx(0, 1, 2).ccz(0, 1, 2).cswap(0, 1, 2)
+        assert len(c) == 33
+
+    def test_unitary_and_diagonal_builders(self):
+        c = Circuit(2)
+        c.unitary(np.eye(4, dtype=complex), 0, 1)
+        c.diagonal(np.array([1, -1], dtype=complex), 0)
+        assert len(c) == 2
+        assert c[1].diag is not None
+
+
+class TestContainer:
+    def test_slicing_returns_circuit(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        head = c[:2]
+        assert isinstance(head, Circuit)
+        assert len(head) == 2
+        assert head.num_qubits == 2
+
+    def test_indexing_returns_gate(self):
+        c = Circuit(2).h(0)
+        assert c[0].name == "h"
+
+    def test_equality(self):
+        a = Circuit(2).h(0).rx(0.5, 1)
+        b = Circuit(2).h(0).rx(0.5, 1)
+        assert a == b
+        assert a != Circuit(2).h(0).rx(0.6, 1)
+        assert a != Circuit(3).h(0).rx(0.5, 1)
+
+    def test_iteration_order(self):
+        c = Circuit(2).x(0).y(1).z(0)
+        assert [g.name for g in c] == ["x", "y", "z"]
+
+
+class TestStats:
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_chain(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        assert c.depth() == 3
+
+    def test_gate_counts(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert c.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_count(self):
+        c = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        assert c.two_qubit_count() == 2
+
+    def test_qubits_used(self):
+        c = Circuit(5).h(1).cx(3, 1)
+        assert c.qubits_used() == (1, 3)
+        assert c.max_qubit_touched() == 3
+
+    def test_max_qubit_empty(self):
+        assert Circuit(3).max_qubit_touched() == -1
+
+
+class TestTransforms:
+    def test_compose(self, dense):
+        a = Circuit(2).h(0)
+        b = Circuit(2).cx(0, 1)
+        ab = a.compose(b)
+        assert [g.name for g in ab] == ["h", "cx"]
+        # original untouched
+        assert len(a) == 1
+
+    def test_compose_size_check(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_inverse_restores_zero(self, dense):
+        c = Circuit(3).h(0).cx(0, 1).t(1).rx(0.3, 2).ccx(0, 1, 2)
+        sv = dense.run(c.compose(c.inverse()))
+        assert abs(sv.data[0]) == pytest.approx(1.0, abs=1e-12)
+
+    def test_remapped(self, dense):
+        c = Circuit(2).h(0).cx(0, 1)
+        r = c.remapped({0: 1, 1: 0})
+        assert r[1].qubits == (1, 0)
+
+    def test_repeated(self, dense):
+        c = Circuit(1).x(0)
+        twice = c.repeated(2)
+        sv = dense.run(twice)
+        assert abs(sv.data[0]) == pytest.approx(1.0)
+
+    def test_to_unitary_matches_simulation(self, dense, rng):
+        from repro.circuits import random_circuit
+
+        c = random_circuit(4, 20, seed=9)
+        u = c.to_unitary()
+        sv = dense.run(c)
+        assert np.allclose(u[:, 0], sv.data, atol=1e-10)
+        assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-10)
+
+    def test_to_unitary_size_guard(self):
+        with pytest.raises(ValueError):
+            Circuit(13).to_unitary()
+
+    def test_str_and_repr(self):
+        c = Circuit(2, name="demo").h(0)
+        assert "demo" in repr(c)
+        assert "h q[0]" in str(c)

@@ -1,0 +1,93 @@
+"""Unit tests for circuit DAG analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    build_dag,
+    critical_path_length,
+    layers,
+    qubit_interaction_graph,
+    random_circuit,
+)
+
+
+class TestBuildDag:
+    def test_chain_dependencies(self):
+        c = Circuit(1).h(0).x(0).z(0)
+        dag = build_dag(c)
+        assert set(dag.edges()) == {(0, 1), (1, 2)}
+
+    def test_independent_gates_no_edges(self):
+        c = Circuit(3).h(0).h(1).h(2)
+        dag = build_dag(c)
+        assert dag.number_of_edges() == 0
+
+    def test_two_qubit_gate_joins(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        dag = build_dag(c)
+        assert set(dag.predecessors(2)) == {0, 1}
+
+    def test_only_latest_dependency_recorded(self):
+        c = Circuit(1).h(0).x(0).z(0)
+        dag = build_dag(c)
+        assert not dag.has_edge(0, 2)
+
+    def test_dag_is_acyclic(self):
+        dag = build_dag(random_circuit(5, 40, seed=1))
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_node_attributes_carry_gates(self):
+        c = Circuit(2).h(0)
+        dag = build_dag(c)
+        assert dag.nodes[0]["gate"].name == "h"
+
+
+class TestLayers:
+    def test_parallel_layer(self):
+        c = Circuit(3).h(0).h(1).h(2).cx(0, 1)
+        ls = layers(c)
+        assert ls[0] == [0, 1, 2]
+        assert ls[1] == [3]
+
+    def test_layers_match_depth(self):
+        c = random_circuit(6, 50, seed=3)
+        assert len(layers(c)) == c.depth()
+        assert critical_path_length(c) == c.depth()
+
+    def test_every_gate_in_exactly_one_layer(self):
+        c = random_circuit(5, 30, seed=5)
+        ls = layers(c)
+        seen = sorted(i for layer in ls for i in layer)
+        assert seen == list(range(len(c)))
+
+    def test_layer_members_are_disjoint_on_qubits(self):
+        c = random_circuit(6, 60, seed=7)
+        for layer in layers(c):
+            used = set()
+            for i in layer:
+                qs = set(c[i].qubits)
+                assert not (qs & used)
+                used |= qs
+
+    def test_empty_circuit(self):
+        assert layers(Circuit(2)) == []
+
+
+class TestInteractionGraph:
+    def test_edge_weights_count_couplings(self):
+        c = Circuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        g = qubit_interaction_graph(c)
+        assert g[0][1]["weight"] == 2
+        assert g[1][2]["weight"] == 1
+        assert not g.has_edge(0, 2)
+
+    def test_three_qubit_gate_makes_clique(self):
+        c = Circuit(3).ccx(0, 1, 2)
+        g = qubit_interaction_graph(c)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(1, 2)
+
+    def test_isolated_qubits_present(self):
+        g = qubit_interaction_graph(Circuit(4).cx(0, 1))
+        assert set(g.nodes()) == {0, 1, 2, 3}

@@ -1,0 +1,117 @@
+"""Tests for the KAK two-qubit decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.circuits import Circuit, decompose_to_natives, gate_matrix, quantum_volume
+from repro.circuits.kak import (
+    DecompositionError,
+    KakDecomposition,
+    decompose_two_qubit,
+    kak_decompose,
+)
+from repro.statevector import DenseSimulator
+
+
+def states_equal(a, b, atol=1e-8):
+    return np.allclose(a, b, atol=atol)
+
+
+class TestKakDecompose:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_su4_reconstructs(self, seed):
+        u = unitary_group.rvs(4, random_state=np.random.default_rng(seed))
+        dec = kak_decompose(u)
+        assert np.max(np.abs(dec.unitary() - u)) < 1e-8
+
+    def test_random_u4_with_phase(self):
+        u = unitary_group.rvs(4, random_state=np.random.default_rng(42))
+        u = u * np.exp(0.37j)
+        dec = kak_decompose(u)
+        assert np.max(np.abs(dec.unitary() - u)) < 1e-8
+
+    @pytest.mark.parametrize("name,want", [
+        ("cx", (math.pi / 4, 0.0, 0.0)),
+        ("cz", (math.pi / 4, 0.0, 0.0)),
+        ("swap", (math.pi / 4, math.pi / 4, math.pi / 4)),
+        ("iswap", (0.0, math.pi / 4, math.pi / 4)),
+    ])
+    def test_canonical_interaction_strengths(self, name, want):
+        dec = kak_decompose(gate_matrix(name))
+        got = sorted(abs(x) for x in dec.interaction)
+        expect = sorted(abs(x) for x in want)
+        assert np.allclose(got, expect, atol=1e-9)
+
+    def test_tensor_product_zero_interaction(self):
+        rng = np.random.default_rng(3)
+        u = np.kron(unitary_group.rvs(2, random_state=rng),
+                    unitary_group.rvs(2, random_state=rng))
+        dec = kak_decompose(u)
+        assert np.allclose(dec.interaction, 0.0, atol=1e-9)
+
+    def test_identity(self):
+        dec = kak_decompose(np.eye(4))
+        assert np.allclose(dec.interaction, 0.0, atol=1e-12)
+        assert np.max(np.abs(dec.unitary() - np.eye(4))) < 1e-9
+
+    def test_diagonal_unitary(self):
+        d = np.exp(1j * np.array([0.1, 0.9, -0.4, 2.2]))
+        u = np.diag(d)
+        dec = kak_decompose(u)
+        assert np.max(np.abs(dec.unitary() - u)) < 1e-8
+
+    def test_degenerate_spectrum(self):
+        # rzz has a doubly-degenerate V^T V spectrum — the random-mixing
+        # diagonalization must still converge.
+        u = gate_matrix("rzz", (0.7,))
+        dec = kak_decompose(u)
+        assert np.max(np.abs(dec.unitary() - u)) < 1e-8
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.ones((4, 4)))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.eye(2))
+
+
+class TestCircuitEmission:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 3), (2, 1)])
+    def test_fragment_equals_gate(self, seed, qubits, dense):
+        u = unitary_group.rvs(4, random_state=np.random.default_rng(seed + 50))
+        frag = decompose_two_qubit(u, qubits[0], qubits[1], 4)
+        ref = dense.run(Circuit(4).unitary(u, *qubits)).data
+        got = dense.run(frag).data
+        assert states_equal(got, ref)
+
+    def test_natives_cover_quantum_volume(self, dense):
+        circ = quantum_volume(4, depth=3, seed=9)
+        native = decompose_to_natives(circ)
+        # After KAK, no multi-qubit explicit unitaries remain.
+        for g in native:
+            if g.num_qubits >= 2 and g.diag is None:
+                assert g.name == "cx", g.name
+        a = dense.run(circ).data
+        b = dense.run(native).data
+        assert abs(abs(np.vdot(a, b)) - 1.0) < 1e-7
+
+    def test_natives_cover_iswap_and_fsim(self, dense):
+        circ = Circuit(3).h(0).iswap(0, 1).fsim(0.4, 0.9, 1, 2)
+        native = decompose_to_natives(circ)
+        for g in native:
+            if g.num_qubits >= 2 and g.diag is None:
+                assert g.name == "cx"
+        a = dense.run(circ).data
+        b = dense.run(native).data
+        assert abs(abs(np.vdot(a, b)) - 1.0) < 1e-8
+
+    def test_cx_count_bounded(self):
+        u = unitary_group.rvs(4, random_state=np.random.default_rng(77))
+        frag = decompose_two_qubit(u, 0, 1, 2)
+        native = decompose_to_natives(frag)
+        assert native.count_ops().get("cx", 0) <= 6

@@ -1,0 +1,128 @@
+"""Unit tests for the OpenQASM 2.0 emitter/parser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, QasmError, from_qasm, random_circuit, to_qasm
+from repro.statevector import DenseSimulator
+
+
+class TestEmit:
+    def test_header_and_register(self):
+        q = to_qasm(Circuit(3).h(0))
+        assert q.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in q
+        assert "h q[0];" in q
+
+    def test_parametric_pi_formatting(self):
+        q = to_qasm(Circuit(1).rz(math.pi / 2, 0))
+        assert "rz(pi/2) q[0];" in q
+
+    def test_negative_pi_multiple(self):
+        q = to_qasm(Circuit(1).rz(-3 * math.pi / 4, 0))
+        assert "rz(-3*pi/4) q[0];" in q
+
+    def test_zero_param(self):
+        assert "rz(0) q[0];" in to_qasm(Circuit(1).rz(0.0, 0))
+
+    def test_irrational_param_survives(self):
+        q = to_qasm(Circuit(1).rz(0.123456789, 0))
+        c = from_qasm(q)
+        assert c[0].params[0] == pytest.approx(0.123456789, abs=1e-15)
+
+    def test_multi_qubit_args(self):
+        q = to_qasm(Circuit(3).ccx(0, 1, 2))
+        assert "ccx q[0],q[1],q[2];" in q
+
+    def test_unitary_gate_not_exportable(self):
+        c = Circuit(1).unitary(np.eye(2, dtype=complex), 0)
+        with pytest.raises(QasmError):
+            to_qasm(c)
+
+    def test_diagonal_gate_not_exportable(self):
+        c = Circuit(1).diagonal(np.array([1, -1], dtype=complex), 0)
+        with pytest.raises(QasmError):
+            to_qasm(c)
+
+    def test_custom_register_name(self):
+        q = to_qasm(Circuit(1).x(0), qreg="r")
+        assert "qreg r[1];" in q and "x r[0];" in q
+
+
+class TestParse:
+    def test_roundtrip_random(self):
+        c = random_circuit(6, 50, seed=4)
+        assert from_qasm(to_qasm(c)) == c
+
+    def test_roundtrip_preserves_semantics(self, dense):
+        c = random_circuit(5, 40, seed=8)
+        a = dense.run(c).data
+        b = dense.run(from_qasm(to_qasm(c))).data
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_comments_ignored(self):
+        src = """
+        OPENQASM 2.0; // header comment
+        include "qelib1.inc";
+        qreg q[2];
+        // full line comment
+        h q[0]; // trailing
+        cx q[0],q[1];
+        """
+        c = from_qasm(src)
+        assert [g.name for g in c] == ["h", "cx"]
+
+    def test_measure_creg_barrier_ignored(self):
+        src = """OPENQASM 2.0;
+        qreg q[2]; creg c[2];
+        h q[0];
+        barrier q[0],q[1];
+        measure q[0] -> c[0];
+        reset q[1];
+        """
+        c = from_qasm(src)
+        assert [g.name for g in c] == ["h"]
+
+    def test_parameter_expressions(self):
+        c = from_qasm("OPENQASM 2.0; qreg q[1]; rz(2*pi/3) q[0]; rx(-pi) q[0]; ry(0.5+0.25) q[0];")
+        assert c[0].params[0] == pytest.approx(2 * math.pi / 3)
+        assert c[1].params[0] == pytest.approx(-math.pi)
+        assert c[2].params[0] == pytest.approx(0.75)
+
+    def test_power_expression(self):
+        c = from_qasm("OPENQASM 2.0; qreg q[1]; rz(2**3) q[0];")
+        assert c[0].params[0] == pytest.approx(8.0)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg q[2]; h q[2];")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg q[2]; h r[0];")
+
+    def test_gate_before_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; h q[0]; qreg q[2];")
+
+    def test_no_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;")
+
+    def test_multiple_qregs_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg a[1]; qreg b[1];")
+
+    def test_bad_expression_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg q[1]; rz(import os) q[0];")
+
+    def test_malicious_expression_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm('OPENQASM 2.0; qreg q[1]; rz(__import__("os")) q[0];')

@@ -1,0 +1,124 @@
+"""Tests for OpenQASM custom gate definitions (macro expansion)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, QasmError, from_qasm
+from repro.statevector import DenseSimulator
+
+
+class TestGateDefinitions:
+    def test_simple_definition(self):
+        src = """
+        OPENQASM 2.0;
+        gate bell a,b { h a; cx a,b; }
+        qreg q[2];
+        bell q[0],q[1];
+        """
+        c = from_qasm(src)
+        assert [g.name for g in c] == ["h", "cx"]
+        assert c[1].qubits == (0, 1)
+
+    def test_argument_mapping(self):
+        src = """
+        OPENQASM 2.0;
+        gate pair a,b { cx a,b; }
+        qreg q[3];
+        pair q[2],q[0];
+        """
+        c = from_qasm(src)
+        assert c[0].qubits == (2, 0)
+
+    def test_parameterized_definition(self):
+        src = """
+        OPENQASM 2.0;
+        gate halfrot(theta) a { rz(theta/2) a; ry(theta*2) a; }
+        qreg q[1];
+        halfrot(pi) q[0];
+        """
+        c = from_qasm(src)
+        assert c[0].name == "rz" and c[0].params[0] == pytest.approx(math.pi / 2)
+        assert c[1].name == "ry" and c[1].params[0] == pytest.approx(2 * math.pi)
+
+    def test_nested_definitions(self, dense):
+        src = """
+        OPENQASM 2.0;
+        gate bell a,b { h a; cx a,b; }
+        gate doublebell a,b,c { bell a,b; bell b,c; }
+        qreg q[3];
+        doublebell q[0],q[1],q[2];
+        """
+        c = from_qasm(src)
+        assert [g.name for g in c] == ["h", "cx", "h", "cx"]
+        ref = DenseSimulator().run(
+            Circuit(3).h(0).cx(0, 1).h(1).cx(1, 2)
+        ).data
+        assert np.allclose(DenseSimulator().run(c).data, ref, atol=1e-12)
+
+    def test_definition_semantics_match_qiskit_style(self, dense):
+        # The canonical qelib1-style ch definition expands to the same
+        # unitary as our built-in ch.
+        src = """
+        OPENQASM 2.0;
+        gate mych a,b { ry(pi/4) b; cx a,b; ry(-pi/4) b; }
+        qreg q[2];
+        h q[0]; h q[1];
+        mych q[0],q[1];
+        """
+        c = from_qasm(src)
+        ref = DenseSimulator().run(Circuit(2).h(0).h(1).ch(0, 1)).data
+        got = DenseSimulator().run(c).data
+        # equal up to global phase
+        assert abs(abs(np.vdot(got, ref)) - 1.0) < 1e-9
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; gate h a { x a; } qreg q[1]; h q[0];")
+
+    def test_wrong_arity_rejected(self):
+        src = "OPENQASM 2.0; gate pair a,b { cx a,b; } qreg q[2]; pair q[0];"
+        with pytest.raises(QasmError):
+            from_qasm(src)
+
+    def test_wrong_param_count_rejected(self):
+        src = ("OPENQASM 2.0; gate rot(t) a { rz(t) a; } qreg q[1]; "
+               "rot(1,2) q[0];")
+        with pytest.raises(QasmError):
+            from_qasm(src)
+
+    def test_undeclared_body_qubit_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; gate bad a { x b; } qreg q[1]; bad q[0];")
+
+    def test_duplicate_args_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; gate bad a,a { x a; } qreg q[2];")
+
+    def test_unknown_body_gate_rejected(self):
+        src = "OPENQASM 2.0; gate bad a { warp a; } qreg q[1]; bad q[0];"
+        with pytest.raises(QasmError):
+            from_qasm(src)
+
+    def test_unused_definition_is_fine(self):
+        src = "OPENQASM 2.0; gate unused a { x a; } qreg q[1]; h q[0];"
+        c = from_qasm(src)
+        assert [g.name for g in c] == ["h"]
+
+    def test_recursive_definition_detected(self):
+        src = ("OPENQASM 2.0; gate loop a { loop a; } qreg q[1]; loop q[0];")
+        with pytest.raises(QasmError):
+            from_qasm(src)
+
+    def test_params_scoped_per_call(self):
+        src = """
+        OPENQASM 2.0;
+        gate rot(t) a { rz(t) a; }
+        qreg q[1];
+        rot(1.0) q[0];
+        rot(2.0) q[0];
+        """
+        c = from_qasm(src)
+        assert c[0].params[0] == pytest.approx(1.0)
+        assert c[1].params[0] == pytest.approx(2.0)

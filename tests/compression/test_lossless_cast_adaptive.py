@@ -1,0 +1,131 @@
+"""Unit tests for lossless backends, the cast compressor, and adaptive selection."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    AdaptiveCompressor,
+    Bz2Compressor,
+    CastCompressor,
+    LzmaCompressor,
+    NullCompressor,
+    ZlibCompressor,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from repro.compression.metrics import max_component_error
+
+
+def rand_complex(n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * scale
+
+
+ALL_LOSSLESS = [ZlibCompressor, LzmaCompressor, Bz2Compressor, NullCompressor]
+
+
+class TestLossless:
+    @pytest.mark.parametrize("cls", ALL_LOSSLESS)
+    def test_exact_roundtrip(self, cls):
+        x = rand_complex(1000, seed=1)
+        c = cls()
+        assert np.array_equal(c.decompress(c.compress(x)), x)
+
+    @pytest.mark.parametrize("cls", ALL_LOSSLESS)
+    def test_not_lossy(self, cls):
+        c = cls()
+        assert not c.is_lossy
+        assert c.error_bound == 0.0
+
+    def test_structured_data_compresses(self):
+        x = np.full(4096, 0.5 + 0.5j)
+        assert len(ZlibCompressor().compress(x)) < x.nbytes / 50
+
+    def test_null_size_is_raw_plus_header(self):
+        x = rand_complex(64, seed=2)
+        blob = NullCompressor().compress(x)
+        assert len(blob) == x.nbytes + 12
+
+    def test_magic_checked(self):
+        with pytest.raises(ValueError):
+            ZlibCompressor().decompress(b"BOGUS" * 4)
+
+    def test_empty_roundtrip(self):
+        x = np.empty(0, dtype=np.complex128)
+        assert ZlibCompressor().decompress(ZlibCompressor().compress(x)).shape == (0,)
+
+
+class TestCast:
+    def test_error_within_float32_eps(self):
+        x = rand_complex(2048, seed=3)
+        x /= np.max(np.abs(x))  # amplitudes bounded by 1
+        c = CastCompressor()
+        back = c.decompress(c.compress(x))
+        assert max_component_error(x, back) <= c.error_bound * 1.01
+
+    def test_halves_footprint_before_zlib(self):
+        x = rand_complex(4096, seed=4)
+        blob = CastCompressor(level=0).compress(x)
+        # complex64 payload (+ zlib stored-block overhead) ~ half of complex128
+        assert len(blob) < x.nbytes * 0.55
+
+    def test_is_lossy(self):
+        assert CastCompressor().is_lossy
+
+
+class TestAdaptive:
+    def test_sparse_chunk_goes_lossless(self):
+        x = np.zeros(1024, dtype=np.complex128)
+        x[0] = 1.0
+        a = AdaptiveCompressor()
+        back = a.decompress(a.compress(x))
+        assert a.chunks_lossless == 1 and a.chunks_lossy == 0
+        assert np.array_equal(back, x)  # exact
+
+    def test_dense_chunk_goes_lossy(self):
+        x = rand_complex(1024, seed=5)
+        x /= np.linalg.norm(x)
+        a = AdaptiveCompressor()
+        back = a.decompress(a.compress(x))
+        assert a.chunks_lossy == 1
+        assert max_component_error(x, back) <= a.error_bound * (1 + 1e-9)
+
+    def test_empty_chunk(self):
+        a = AdaptiveCompressor()
+        out = a.decompress(a.compress(np.empty(0, dtype=np.complex128)))
+        assert out.shape == (0,)
+
+    def test_magic_checked(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompressor().decompress(b"1234567")
+
+    def test_threshold_configurable(self):
+        # With threshold 0 nothing is "sparse".
+        x = np.zeros(256, dtype=np.complex128)
+        x[3] = 1.0
+        a = AdaptiveCompressor(sparsity_threshold=0.0)
+        a.compress(x)
+        assert a.chunks_lossy == 1
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_compressors()
+        for want in ("szlike", "zlib", "lzma", "bz2", "null", "cast", "adaptive"):
+            assert want in names
+
+    def test_factory_kwargs(self):
+        c = get_compressor("zlib", level=9)
+        assert c.level == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_compressor("zstd")
+
+    def test_custom_registration(self):
+        class Dummy(NullCompressor):
+            name = "dummy-test"
+
+        register_compressor("dummy-test", lambda: Dummy())
+        assert get_compressor("dummy-test").name == "dummy-test"

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the compression stack invariants.
+
+These are the load-bearing guarantees of the whole system: if a codec
+violates its error bound or loses length information, the simulator's
+correctness story collapses. Hypothesis searches the input space for
+violations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    SZLikeCompressor,
+    ZlibCompressor,
+    get_compressor,
+    max_component_error,
+)
+from repro.compression.huffman import decode, encode
+from repro.compression.quantizer import unzigzag, zigzag
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def complex_arrays(draw, max_len=512):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    re = draw(
+        hnp.arrays(np.float64, n, elements=finite_floats)
+    )
+    im = draw(
+        hnp.arrays(np.float64, n, elements=finite_floats)
+    )
+    return re + 1j * im
+
+
+class TestSZLikeProperties:
+    @given(data=complex_arrays(), eb_exp=st.integers(min_value=-8, max_value=-1))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound_always_respected(self, data, eb_exp):
+        eb = 10.0**eb_exp
+        c = SZLikeCompressor(error_bound=eb)
+        back = c.decompress(c.compress(data))
+        assert back.shape == data.shape
+        assert max_component_error(data, back) <= eb * (1 + 1e-9)
+
+    @given(data=complex_arrays(max_len=256))
+    @settings(max_examples=30, deadline=None)
+    def test_rel_mode_never_crashes_and_bounds(self, data):
+        c = SZLikeCompressor(error_bound=1e-4, mode="rel")
+        back = c.decompress(c.compress(data))
+        planes = np.concatenate([data.real, data.imag]) if data.size else np.zeros(1)
+        realized = 1e-4 * max(np.max(np.abs(planes)), 0.0) if data.size else 0.0
+        # raw fallback may make it exact; bound must hold either way
+        assert max_component_error(data, back) <= max(realized, 1e-4) * (1 + 1e-9)
+
+    @given(data=complex_arrays(max_len=256))
+    @settings(max_examples=30, deadline=None)
+    def test_compress_is_deterministic(self, data):
+        c = SZLikeCompressor(error_bound=1e-5)
+        assert c.compress(data) == c.compress(data)
+
+
+class TestLosslessProperties:
+    @given(data=complex_arrays(max_len=512))
+    @settings(max_examples=40, deadline=None)
+    def test_zlib_bit_exact(self, data):
+        c = ZlibCompressor()
+        back = c.decompress(c.compress(data))
+        assert np.array_equal(back, data)
+
+    @given(data=complex_arrays(max_len=256))
+    @settings(max_examples=25, deadline=None)
+    def test_adaptive_respects_bound(self, data):
+        a = get_compressor("adaptive", error_bound=1e-5)
+        back = a.decompress(a.compress(data))
+        assert max_component_error(data, back) <= 1e-5 * (1 + 1e-9)
+
+
+class TestHuffmanProperties:
+    @given(
+        vals=hnp.arrays(
+            np.int64,
+            st.integers(min_value=0, max_value=2000),
+            elements=st.integers(min_value=-(2**40), max_value=2**40),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, vals):
+        assert np.array_equal(decode(encode(vals)), vals)
+
+    @given(
+        vals=hnp.arrays(
+            np.int64,
+            st.integers(min_value=1, max_value=1000),
+            elements=st.integers(min_value=-5, max_value=5),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_small_alphabet_roundtrip(self, vals):
+        assert np.array_equal(decode(encode(vals)), vals)
+
+
+class TestZigzagProperties:
+    @given(
+        vals=hnp.arrays(
+            np.int64,
+            st.integers(min_value=0, max_value=1000),
+            elements=st.integers(min_value=-(2**52), max_value=2**52),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bijection(self, vals):
+        assert np.array_equal(unzigzag(zigzag(vals)), vals)
+
+    @given(
+        vals=hnp.arrays(
+            np.int64, 64, elements=st.integers(min_value=-(2**52), max_value=2**52)
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zigzag_nonnegative(self, vals):
+        zz = zigzag(vals)
+        assert zz.dtype == np.uint64

@@ -1,0 +1,119 @@
+"""Unit tests for the SZ-like error-bounded compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZLikeCompressor, get_compressor
+from repro.compression.metrics import max_component_error
+
+
+def smooth_signal(n, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 8 * np.pi, n)
+    return (np.sin(t) + 0.1 * rng.standard_normal(n)) * np.exp(1j * t / 3) / np.sqrt(n)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("eb", [1e-2, 1e-4, 1e-6, 1e-10])
+    def test_abs_bound_respected(self, eb):
+        x = smooth_signal(4096)
+        c = SZLikeCompressor(error_bound=eb)
+        back = c.decompress(c.compress(x))
+        assert max_component_error(x, back) <= eb * (1 + 1e-9)
+
+    def test_rel_mode_bound(self):
+        x = smooth_signal(2048, seed=1) * 1e-3
+        c = SZLikeCompressor(error_bound=1e-3, mode="rel")
+        back = c.decompress(c.compress(x))
+        planes = np.concatenate([x.real, x.imag])
+        realized = 1e-3 * np.max(np.abs(planes))
+        assert max_component_error(x, back) <= realized * (1 + 1e-9)
+
+    def test_length_preserved(self):
+        x = smooth_signal(777)
+        c = SZLikeCompressor()
+        assert c.decompress(c.compress(x)).shape == (777,)
+
+    def test_empty_array(self):
+        c = SZLikeCompressor()
+        out = c.decompress(c.compress(np.empty(0, dtype=np.complex128)))
+        assert out.shape == (0,)
+
+    def test_single_element(self):
+        x = np.array([0.3 - 0.4j])
+        c = SZLikeCompressor(error_bound=1e-6)
+        back = c.decompress(c.compress(x))
+        assert max_component_error(x, back) <= 1e-6
+
+    def test_all_zero_chunk(self):
+        x = np.zeros(1024, dtype=np.complex128)
+        c = SZLikeCompressor(error_bound=1e-6)
+        blob = c.compress(x)
+        assert len(blob) < 200  # must compress extremely well
+        assert np.allclose(c.decompress(blob), 0.0, atol=1e-6)
+
+
+class TestCompression:
+    def test_smooth_data_compresses_well(self):
+        x = smooth_signal(1 << 14)
+        c = SZLikeCompressor(error_bound=1e-4)
+        blob = c.compress(x)
+        assert x.nbytes / len(blob) > 8
+
+    def test_looser_bound_better_ratio(self):
+        x = smooth_signal(1 << 13, seed=3)
+        tight = len(SZLikeCompressor(error_bound=1e-8).compress(x))
+        loose = len(SZLikeCompressor(error_bound=1e-3).compress(x))
+        assert loose < tight
+
+    def test_raw_fallback_on_tight_bound_random_data(self):
+        rng = np.random.default_rng(5)
+        x = (rng.standard_normal(512) + 1j * rng.standard_normal(512)) * 1e150
+        c = SZLikeCompressor(error_bound=1e-300)
+        # Quantization would overflow; raw fallback must be *exact*.
+        back = c.decompress(c.compress(x))
+        assert np.array_equal(back, x)
+
+    def test_blob_never_catastrophically_larger(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        c = SZLikeCompressor(error_bound=1e-14)
+        blob = c.compress(x)
+        assert len(blob) <= x.nbytes * 1.1
+
+
+class TestEntropyModes:
+    @pytest.mark.parametrize("entropy", ["zlib", "huffman", "auto"])
+    def test_all_modes_roundtrip(self, entropy):
+        x = smooth_signal(2048, seed=7)
+        c = SZLikeCompressor(error_bound=1e-5, entropy=entropy)
+        back = c.decompress(c.compress(x))
+        assert max_component_error(x, back) <= 1e-5 * (1 + 1e-9)
+
+    def test_invalid_entropy_rejected(self):
+        with pytest.raises(ValueError):
+            SZLikeCompressor(entropy="arith")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SZLikeCompressor(mode="pointwise")
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SZLikeCompressor(error_bound=0.0)
+
+
+class TestBlobFormat:
+    def test_magic_checked(self):
+        c = SZLikeCompressor()
+        with pytest.raises(ValueError):
+            c.decompress(b"XXXXgarbage")
+
+    def test_registry_construction(self):
+        c = get_compressor("szlike", error_bound=1e-3, mode="rel")
+        assert c.error_bound == 1e-3
+        assert c.mode == "rel"
+        assert c.is_lossy
+
+    def test_describe(self):
+        assert "szlike" in SZLikeCompressor().describe()

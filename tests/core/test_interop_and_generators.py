@@ -1,0 +1,191 @@
+"""Tests for the SV-Sim-style session adapter and the new generators."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import Circuit, cuccaro_adder, trotter_ising
+from repro.core import MemQSimConfig
+from repro.device import DeviceSpec
+from repro.interop import SvSession
+from repro.observables import ising_hamiltonian
+from repro.statevector import DenseSimulator, StateVector
+
+
+def session(n=8):
+    chunk = max(1, min(4, n - 1))
+    return SvSession(n, MemQSimConfig(chunk_qubits=chunk, compressor="zlib",
+                                      device=DeviceSpec(memory_bytes=1 << 13)),
+                     seed=5)
+
+
+class TestSvSession:
+    def test_bell_counts(self):
+        sim = session(2)
+        sim.h(0).cx(0, 1)
+        counts = sim.measure_all(shots=400)
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 400
+
+    def test_gate_verbs_from_gate_set(self):
+        sim = session(3)
+        sim.h(0)
+        sim.rz(0.5, 1)
+        sim.ccx(0, 1, 2)
+        assert sim.num_gates == 3
+
+    def test_unknown_gate_rejected(self):
+        sim = session(2)
+        with pytest.raises(KeyError):
+            sim.append("frobnicate", 0)
+        with pytest.raises(AttributeError):
+            sim.frobnicate(0)
+
+    def test_statevector_matches_dense(self):
+        sim = session(4)
+        sim.h(0).cx(0, 1).t(1).cx(1, 2).rx(0.3, 3)
+        c = Circuit(4).h(0).cx(0, 1).t(1).cx(1, 2).rx(0.3, 3)
+        ref = DenseSimulator().run(c).data
+        assert np.allclose(sim.get_statevector(), ref, atol=1e-12)
+
+    def test_incremental_execution_continues_state(self):
+        sim = session(3)
+        sim.h(0)
+        _ = sim.get_statevector()  # forces a run
+        sim.cx(0, 1)  # appended after the run
+        sv = sim.get_statevector()
+        ref = DenseSimulator().run(Circuit(3).h(0).cx(0, 1)).data
+        assert np.allclose(sv, ref, atol=1e-12)
+
+    def test_mid_circuit_measure_then_continue(self):
+        sim = session(3)
+        sim.h(0).cx(0, 1)
+        bit = sim.measure(0)
+        sim.x(2)  # continue after collapse
+        sv = sim.get_statevector()
+        want_index = (bit | (bit << 1)) | (1 << 2)
+        assert abs(sv[want_index]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_reset_sim(self):
+        sim = session(2)
+        sim.x(0)
+        sim.run()
+        sim.reset_sim()
+        sv = sim.get_statevector()
+        assert sv[0] == pytest.approx(1.0)
+
+    def test_run_caching(self):
+        sim = session(2)
+        sim.h(0)
+        r1 = sim.run()
+        r2 = sim.run()
+        assert r1 is r2
+
+    def test_expectation_z(self):
+        sim = session(2)
+        sim.x(1)
+        assert sim.expectation_z(1) == pytest.approx(-1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SvSession(0)
+
+    def test_repr(self):
+        assert "SvSession" in repr(session(2))
+
+
+class TestTrotterIsing:
+    def test_short_time_matches_exact_evolution(self):
+        n, dt, steps = 4, 0.02, 10
+        h = ising_hamiltonian(n, j=1.0, g=0.5)
+        circ = trotter_ising(n, steps=steps, dt=dt, j=1.0, g=0.5)
+        sv = DenseSimulator().run(circ)
+        exact = expm(-1j * steps * dt * h.to_matrix(n)) @ StateVector(n).data
+        fidelity = abs(np.vdot(exact, sv.data)) ** 2
+        assert fidelity > 0.999
+
+    def test_trotter_error_shrinks_with_dt(self):
+        n, t = 4, 0.4
+        h = ising_hamiltonian(n, j=1.0, g=0.5)
+        exact = expm(-1j * t * h.to_matrix(n)) @ StateVector(n).data
+        fids = []
+        for steps in (2, 8, 32):
+            circ = trotter_ising(n, steps=steps, dt=t / steps, j=1.0, g=0.5)
+            sv = DenseSimulator().run(circ).data
+            fids.append(abs(np.vdot(exact, sv)) ** 2)
+        assert fids[0] <= fids[1] <= fids[2] + 1e-12
+
+    def test_energy_conserved_under_evolution(self):
+        # <H> is invariant under exp(-iHt); Trotter should nearly conserve it.
+        n = 6
+        h = ising_hamiltonian(n, j=1.0, g=0.7)
+        prep = Circuit(n)
+        for q in range(n):
+            prep.ry(0.4 + 0.1 * q, q)
+        e0 = h.expectation_dense(DenseSimulator().run(prep))
+        evolved = prep.compose(trotter_ising(n, steps=20, dt=0.02, j=1.0, g=0.7))
+        e1 = h.expectation_dense(DenseSimulator().run(evolved))
+        assert e1 == pytest.approx(e0, abs=0.05)
+
+
+class TestCuccaroAdder:
+    @staticmethod
+    def prepare_and_run(n_bits, a_val, b_val):
+        circ = cuccaro_adder(n_bits)
+        prep = Circuit(circ.num_qubits)
+        for i in range(n_bits):
+            if (a_val >> i) & 1:
+                prep.x(1 + 2 * i)
+            if (b_val >> i) & 1:
+                prep.x(2 + 2 * i)
+        sv = DenseSimulator().run(prep.compose(circ))
+        outcome = int(np.argmax(np.abs(sv.data)))
+        b_out = 0
+        for i in range(n_bits):
+            b_out |= ((outcome >> (2 + 2 * i)) & 1) << i
+        carry = (outcome >> (2 * n_bits + 1)) & 1
+        a_out = 0
+        for i in range(n_bits):
+            a_out |= ((outcome >> (1 + 2 * i)) & 1) << i
+        return a_out, b_out, carry
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 1), (2, 3), (3, 3)])
+    def test_two_bit_addition(self, a, b):
+        a_out, b_out, carry = self.prepare_and_run(2, a, b)
+        total = a + b
+        assert b_out == total % 4
+        assert carry == total // 4
+        assert a_out == a  # a register restored
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (7, 7), (0, 6), (4, 4)])
+    def test_three_bit_addition(self, a, b):
+        a_out, b_out, carry = self.prepare_and_run(3, a, b)
+        total = a + b
+        assert b_out == total % 8
+        assert carry == total // 8
+        assert a_out == a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+    def test_adder_in_memqsim(self):
+        from repro.core import MemQSim
+
+        circ = cuccaro_adder(3)
+        prep = Circuit(circ.num_qubits)
+        # a = 5, b = 6
+        for i in range(3):
+            if (5 >> i) & 1:
+                prep.x(1 + 2 * i)
+            if (6 >> i) & 1:
+                prep.x(2 + 2 * i)
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13))
+        res = MemQSim(cfg).run(prep.compose(circ))
+        counts = res.sample(10, seed=1)
+        assert len(counts) == 1
+        outcome = int(next(iter(counts)), 2)
+        b_out = sum((((outcome >> (2 + 2 * i)) & 1) << i) for i in range(3))
+        carry = (outcome >> 7) & 1
+        assert b_out + (carry << 3) == 11

@@ -1,0 +1,174 @@
+"""Unit tests for the MemQSim simulator facade."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz, qft, random_circuit
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.statevector import DenseSimulator, StateVector
+
+
+class TestBasics:
+    def test_default_config_runs(self):
+        res = MemQSim().run(ghz(6))
+        assert res.num_qubits == 6
+        assert res.norm() == pytest.approx(1.0, abs=1e-3)
+
+    def test_override_kwargs(self):
+        sim = MemQSim(compressor="zlib", chunk_qubits=3)
+        assert sim.config.compressor == "zlib"
+        assert sim.config.chunk_qubits == 3
+
+    def test_config_object(self):
+        cfg = MemQSimConfig(compressor="zlib")
+        sim = MemQSim(cfg)
+        assert sim.config is cfg
+
+    def test_repr(self):
+        assert "szlike" in repr(MemQSim())
+
+
+class TestCorrectness:
+    def test_lossless_identical_to_dense(self, tight_config):
+        c = random_circuit(9, 70, seed=13)
+        ref = DenseSimulator().run(c).data
+        got = MemQSim(tight_config).run(c).statevector()
+        assert np.allclose(got, ref, atol=1e-12)
+
+    def test_initial_state(self, tight_config):
+        c = Circuit(8).cx(0, 1)
+        init = StateVector.basis_state(8, 1)
+        res = MemQSim(tight_config).run(c, initial_state=init)
+        assert res.probability_of(3) == pytest.approx(1.0)
+
+    def test_initial_state_size_checked(self, tight_config):
+        with pytest.raises(ValueError):
+            MemQSim(tight_config).run(Circuit(8).h(0), initial_state=StateVector(4))
+
+    def test_lossy_fidelity_floor(self):
+        from repro.compression import fidelity_floor
+
+        c = qft(10)
+        eb = 1e-6
+        ref = DenseSimulator().run(c).data
+        res = MemQSim(
+            compressor="szlike",
+            compressor_options={"error_bound": eb},
+            chunk_qubits=5,
+            device=DeviceSpec(memory_bytes=1 << 16),
+        ).run(c)
+        f = res.fidelity_vs(ref)
+        # Each of the plan's recompressions can add eb; bound by stages+1.
+        total_eb = eb * (res.plan.num_stages + 1)
+        assert f >= fidelity_floor(total_eb, 1 << 10) - 1e-9
+
+    def test_host_budget_enforced(self):
+        from repro.device import HostSpec
+
+        cfg = MemQSimConfig(
+            chunk_qubits=8,
+            host=HostSpec(memory_bytes=1024),  # absurdly small
+            device=DeviceSpec(memory_bytes=1 << 24),
+        )
+        with pytest.raises(MemoryError):
+            MemQSim(cfg).run(ghz(10))
+
+
+class TestResultQueries:
+    @pytest.fixture
+    def result(self, tight_config):
+        return MemQSim(tight_config).run(ghz(8))
+
+    def test_sample_streaming(self, result):
+        counts = result.sample(500, seed=1)
+        assert set(counts) <= {"0" * 8, "1" * 8}
+        assert sum(counts.values()) == 500
+
+    def test_sample_distribution(self, result):
+        counts = result.sample(2000, seed=2)
+        assert abs(counts.get("0" * 8, 0) - 1000) < 150
+
+    def test_probability_of(self, result):
+        assert result.probability_of(0) == pytest.approx(0.5, abs=1e-9)
+        assert result.probability_of(255) == pytest.approx(0.5, abs=1e-9)
+        assert result.probability_of(7) == pytest.approx(0.0, abs=1e-12)
+
+    def test_amplitude(self, result):
+        assert result.amplitude(0) == pytest.approx(1 / np.sqrt(2))
+
+    def test_expectation_z_local_and_global(self, result):
+        # GHZ: <Z_q> = 0 for every qubit.
+        for q in (0, 7):
+            assert result.expectation_z(q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_expectation_z_matches_dense(self, tight_config):
+        c = random_circuit(8, 40, seed=17)
+        res = MemQSim(tight_config).run(c)
+        ref = DenseSimulator().run(c)
+        for q in range(8):
+            assert res.expectation_z(q) == pytest.approx(
+                ref.expectation_pauli("Z", [q]), abs=1e-9
+            )
+
+    def test_chunk_masses_sum_to_one(self, result):
+        assert result.chunk_probability_masses().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_report_renders(self, result):
+        rep = result.report()
+        assert "MEMQSim result" in rep
+        assert "stage breakdown" in rep
+        assert "ratio" in rep
+
+    def test_pipeline_speedup_sane(self, result):
+        assert 1.0 <= result.pipeline_speedup < 100
+        assert result.pipelined_seconds <= result.serial_seconds + 1e-9
+
+    def test_memory_accounting_sane(self, result):
+        assert result.peak_host_bytes > 0
+        assert result.peak_device_bytes > 0
+        assert result.dense_bytes == 256 * 16
+
+
+class TestConvenience:
+    def test_sample_facade(self, tight_config):
+        counts = MemQSim(tight_config).sample(ghz(8), shots=100, seed=4)
+        assert sum(counts.values()) == 100
+
+    def test_statevector_facade(self, tight_config):
+        sv = MemQSim(tight_config).statevector(ghz(8))
+        assert sv.shape == (256,)
+
+
+class TestDiskStore:
+    def test_disk_store_identical_to_memory(self, tmp_path):
+        from repro.circuits import random_circuit
+
+        circ = random_circuit(8, 40, seed=77)
+        base = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                             device=DeviceSpec(memory_bytes=1 << 13))
+        ref = MemQSim(base).run(circ).statevector()
+        cfg = base.with_updates(store="disk",
+                                disk_path=str(tmp_path / "sim.log"))
+        res = MemQSim(cfg).run(circ)
+        assert np.allclose(res.statevector(), ref, atol=1e-12)
+        assert res.tracker.peak("disk_store") > 0
+        assert res.tracker.peak("chunk_store") == 0
+        res.store.close()
+
+    def test_disk_store_default_temp_path(self):
+        cfg = MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 12),
+                            store="disk")
+        res = MemQSim(cfg).run(ghz(6))
+        assert res.norm() == pytest.approx(1.0, abs=1e-9)
+        path = res.store.path
+        res.store.close()
+        import os
+
+        os.unlink(path)
+
+    def test_unknown_store_kind(self):
+        cfg = MemQSimConfig(store="tape")
+        with pytest.raises(ValueError):
+            MemQSim(cfg).run(ghz(4))

@@ -1,0 +1,242 @@
+"""Tests for observables, product-state init, mid-circuit measurement on the
+compressed store, multi-device execution, and the circuit drawer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, draw, ghz, qaoa_maxcut, random_circuit, vqe_ansatz
+from repro.compression import get_compressor
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.memory import ChunkLayout, CompressedChunkStore, MemoryTracker
+from repro.observables import (
+    PauliSum,
+    heisenberg_hamiltonian,
+    ising_hamiltonian,
+    maxcut_hamiltonian,
+)
+from repro.statevector import DenseSimulator, StateVector
+
+
+def cfg(chunk=4):
+    return MemQSimConfig(chunk_qubits=chunk, compressor="zlib",
+                         device=DeviceSpec(memory_bytes=1 << 13))
+
+
+class TestPauliSum:
+    def test_matrix_matches_terms(self):
+        h = PauliSum().add(0.5, "ZZ", (0, 1)).add(-0.25, "X", (0,))
+        h.constant = 1.0
+        m = h.to_matrix(2)
+        z = np.diag([1, -1]).astype(complex)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        want = (1.0 * np.eye(4) + 0.5 * np.kron(z, z)
+                - 0.25 * np.kron(np.eye(2), x))
+        assert np.allclose(m, want)
+
+    def test_dense_expectation_matches_matrix(self, rng):
+        h = ising_hamiltonian(4, j=0.7, g=0.3)
+        sv = StateVector.random_state(4, seed=3)
+        want = float(np.real(np.vdot(sv.data, h.to_matrix(4) @ sv.data)))
+        assert h.expectation_dense(sv) == pytest.approx(want, abs=1e-10)
+
+    @pytest.mark.parametrize("ham_fn", [
+        lambda: ising_hamiltonian(8, 1.0, 0.5),
+        lambda: heisenberg_hamiltonian(8),
+    ])
+    def test_chunked_matches_dense(self, ham_fn):
+        h = ham_fn()
+        circ = vqe_ansatz(8, layers=2, seed=5)
+        ref = DenseSimulator().run(circ)
+        res = MemQSim(cfg()).run(circ)
+        assert h.expectation_chunked(res) == pytest.approx(
+            h.expectation_dense(ref), abs=1e-9
+        )
+
+    def test_expectation_dispatch(self):
+        h = ising_hamiltonian(6)
+        circ = ghz(6)
+        ref = DenseSimulator().run(circ)
+        res = MemQSim(cfg(3)).run(circ)
+        assert h.expectation(res) == pytest.approx(h.expectation(ref), abs=1e-9)
+
+    def test_maxcut_on_ghz(self):
+        import networkx as nx
+
+        g = nx.path_graph(6)
+        h = maxcut_hamiltonian(g)
+        # GHZ: all qubits perfectly correlated -> cut value 0.
+        res = MemQSim(cfg(3)).run(ghz(6))
+        assert h.expectation_chunked(res) == pytest.approx(0.0, abs=1e-9)
+
+    def test_simplify_merges_terms(self):
+        h = PauliSum().add(1.0, "ZZ", (0, 1)).add(0.5, "ZZ", (1, 0)).add(-1.5, "ZZ", (0, 1))
+        s = h.simplified()
+        assert len(s) == 0  # 1.0 + 0.5 - 1.5 (qubit-order canonicalized)
+
+    def test_bad_term_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            PauliSum().add(1.0, "Q", (0,))
+
+    def test_str_and_repr(self):
+        h = ising_hamiltonian(3)
+        assert "terms" in repr(h)
+        assert "Z" in str(h)
+
+
+class TestProductStateInit:
+    def test_matches_dense_kron(self, rng):
+        lay = ChunkLayout(6, 3)
+        store = CompressedChunkStore(lay, get_compressor("zlib"), MemoryTracker())
+        factors = []
+        for q in range(6):
+            v = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+            factors.append(v / np.linalg.norm(v))
+        store.init_product_state(factors)
+        want = np.ones(1, dtype=complex)
+        for q in reversed(range(6)):
+            want = np.kron(want, factors[q])
+        assert np.allclose(store.to_statevector(), want, atol=1e-12)
+
+    def test_basis_factor_interns_zero_chunks(self):
+        lay = ChunkLayout(8, 3)
+        store = CompressedChunkStore(lay, get_compressor("zlib"), MemoryTracker())
+        factors = [np.array([1.0, 0.0])] * 8
+        store.init_product_state(factors)
+        # only chunk 0 is nonzero; the rest share the interned zero blob
+        assert store._zero_refs == lay.num_chunks - 1
+        sv = store.to_statevector()
+        assert sv[0] == 1.0 and np.count_nonzero(sv) == 1
+
+    def test_plus_state_product(self):
+        lay = ChunkLayout(5, 2)
+        store = CompressedChunkStore(lay, get_compressor("zlib"), MemoryTracker())
+        plus = np.array([1.0, 1.0]) / np.sqrt(2)
+        store.init_product_state([plus] * 5)
+        assert np.allclose(store.to_statevector(), 1 / np.sqrt(32), atol=1e-12)
+
+    def test_validation(self):
+        lay = ChunkLayout(4, 2)
+        store = CompressedChunkStore(lay, get_compressor("zlib"), MemoryTracker())
+        with pytest.raises(ValueError):
+            store.init_product_state([np.array([1.0, 0.0])] * 3)
+        with pytest.raises(ValueError):
+            store.init_product_state([np.array([1.0, 1.0])] * 4)  # unnormalized
+
+
+class TestChunkedMeasurement:
+    def test_ghz_collapse_local_qubit(self):
+        res = MemQSim(cfg(4)).run(ghz(8))
+        bit = res.measure_qubit(0, np.random.default_rng(1))
+        sv = res.statevector()
+        expect = (1 << 8) - 1 if bit else 0
+        assert abs(sv[expect]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ghz_collapse_global_qubit(self):
+        res = MemQSim(cfg(4)).run(ghz(8))
+        bit = res.measure_qubit(7, np.random.default_rng(2))
+        sv = res.statevector()
+        expect = (1 << 8) - 1 if bit else 0
+        assert abs(sv[expect]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_global_collapse_zeroes_chunks_cheaply(self):
+        res = MemQSim(cfg(4)).run(ghz(8))
+        before = res.store.stats.stores
+        res.measure_qubit(7, np.random.default_rng(3))
+        # Half the chunks were zeroed via the interned blob: only the kept
+        # half got recompressed.
+        assert res.store.stats.stores - before <= res.store.layout.num_chunks // 2
+        assert res.store._zero_refs >= res.store.layout.num_chunks // 2
+
+    def test_statistics_match_born_rule(self):
+        ones = 0
+        for seed in range(60):
+            res = MemQSim(cfg(3)).run(ghz(6))
+            ones += res.measure_qubit(3, np.random.default_rng(seed))
+        assert 15 <= ones <= 45
+
+    def test_norm_preserved_after_collapse(self):
+        circ = random_circuit(8, 40, seed=9)
+        res = MemQSim(cfg(4)).run(circ)
+        res.measure_qubit(5, np.random.default_rng(4))
+        assert res.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_dense_distribution_after_collapse(self):
+        circ = random_circuit(7, 30, seed=10)
+        res = MemQSim(MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                                    device=DeviceSpec(memory_bytes=1 << 12))).run(circ)
+        dense_sv = DenseSimulator().run(circ)
+        # force the same outcome on both paths
+        from repro.statevector import measure_qubit as dense_measure
+
+        bit = res.measure_qubit(6, np.random.default_rng(5))
+        got_dense = dense_measure(dense_sv, 6, np.random.default_rng(5))
+        assert bit == got_dense
+        assert np.allclose(res.statevector(), dense_sv.data, atol=1e-9)
+
+    def test_out_of_range(self):
+        res = MemQSim(cfg(3)).run(ghz(6))
+        with pytest.raises(ValueError):
+            res.measure_qubit(6)
+
+
+class TestMultiDevice:
+    @pytest.mark.parametrize("devices", [2, 3])
+    def test_multi_device_identical_results(self, devices):
+        circ = random_circuit(8, 50, seed=11)
+        ref = MemQSim(cfg(4)).run(circ).statevector()
+        got = MemQSim(cfg(4).with_updates(num_devices=devices)).run(circ).statevector()
+        assert np.allclose(got, ref, atol=1e-12)
+
+    def test_more_devices_better_overlap(self):
+        from repro.device import PipelineModel
+
+        circ = random_circuit(10, 60, seed=12)
+        res = MemQSim(cfg(4)).run(circ)
+        # Same measured events, more lanes: the makespan can only shrink
+        # (deterministic — avoids comparing two noisy wall-clock runs).
+        m1 = PipelineModel(cpu_codec_lanes=3, gpu_lanes=1).makespan(res.timeline)
+        m4 = PipelineModel(cpu_codec_lanes=3, gpu_lanes=4).makespan(res.timeline)
+        assert m4 <= m1 + 1e-9
+        assert m1 <= res.serial_seconds + 1e-9
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            MemQSim(cfg(3).with_updates(num_devices=0)).run(ghz(6))
+
+
+class TestDrawer:
+    def test_wire_count(self):
+        art = draw(ghz(4))
+        assert art.count("q0:") == 1 and art.count("q3:") == 1
+
+    def test_gate_symbols(self):
+        art = draw(Circuit(2).h(0).cx(0, 1))
+        assert "[H]" in art
+        assert "o" in art and "[X]" in art
+
+    def test_swap_symbols(self):
+        art = draw(Circuit(3).swap(0, 2))
+        assert art.count("x") >= 2
+        assert "|" in art  # connector through the middle wire
+
+    def test_parametric_label(self):
+        art = draw(Circuit(1).rz(0.5, 0))
+        assert "RZ(0.5)" in art
+
+    def test_diagonal_and_unitary_labels(self):
+        c = Circuit(2)
+        c.diagonal(np.array([1, -1], dtype=complex), 0)
+        c.unitary(np.eye(2, dtype=complex), 1)
+        art = draw(c)
+        assert "[DIAG]" in art and "[U]" in art
+
+    def test_toffoli(self):
+        art = draw(Circuit(3).ccx(0, 1, 2))
+        assert art.count("o") == 2 and "[X]" in art
+
+    def test_wrap(self):
+        from repro.circuits import qft
+
+        art = draw(qft(3), max_width=40)
+        assert all(len(l) <= 40 for l in art.splitlines())

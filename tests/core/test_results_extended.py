@@ -1,0 +1,104 @@
+"""Tests for streamed Pauli expectations, fusion, and the Pauli substrate."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz, random_circuit
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.statevector import DenseSimulator, StateVector
+from repro.statevector.pauli import parse_pauli, pauli_phase
+
+
+@pytest.fixture(scope="module")
+def rig():
+    cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                        device=DeviceSpec(memory_bytes=1 << 13))
+    circ = random_circuit(8, 50, seed=31)
+    res = MemQSim(cfg).run(circ)
+    ref = DenseSimulator().run(circ)
+    return res, ref
+
+
+class TestParsePauli:
+    def test_masks(self):
+        ps = parse_pauli("XYZI", [0, 1, 2, 3])
+        assert ps.x_mask == 0b011
+        assert ps.z_mask == 0b100
+        assert ps.y_qubits == (1,)
+        assert ps.num_qubits == 4
+
+    def test_diagonal_detection(self):
+        assert parse_pauli("ZIZ", [0, 1, 2]).is_diagonal
+        assert not parse_pauli("X", [0]).is_diagonal
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pauli("XX", [1, 1])
+
+    def test_bad_letter(self):
+        with pytest.raises(ValueError):
+            parse_pauli("W", [0])
+
+    def test_phase_identity_string(self):
+        ps = parse_pauli("II", [0, 1])
+        idx = np.arange(4, dtype=np.uint64)
+        assert np.allclose(pauli_phase(ps, idx), 1.0)
+
+    def test_phase_z_parity(self):
+        ps = parse_pauli("ZZ", [0, 1])
+        idx = np.arange(4, dtype=np.uint64)
+        assert np.allclose(pauli_phase(ps, idx), [1, -1, -1, 1])
+
+
+class TestStreamedPauli:
+    PAULIS = [
+        ("Z", [0]), ("Z", [7]), ("X", [0]), ("X", [7]), ("Y", [5]),
+        ("ZZ", [0, 7]), ("XX", [3, 6]), ("YY", [1, 4]),
+        ("XY", [2, 7]), ("ZX", [6, 1]), ("XYZ", [7, 0, 4]),
+        ("YZXZ", [5, 2, 7, 0]),
+    ]
+
+    @pytest.mark.parametrize("pauli,qubits", PAULIS)
+    def test_matches_dense(self, rig, pauli, qubits):
+        res, ref = rig
+        got = res.expectation_pauli(pauli, qubits)
+        want = ref.expectation_pauli(pauli, qubits)
+        assert got == pytest.approx(want, abs=1e-9)
+
+    def test_ghz_correlations(self):
+        cfg = MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 12))
+        res = MemQSim(cfg).run(ghz(7))
+        # <X...X> = 1 and <Z_i Z_j> = 1 for GHZ.
+        assert res.expectation_pauli("X" * 7) == pytest.approx(1.0, abs=1e-9)
+        assert res.expectation_pauli("ZZ", [0, 6]) == pytest.approx(1.0, abs=1e-9)
+        assert res.expectation_pauli("Z", [3]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_out_of_range_rejected(self, rig):
+        res, _ = rig
+        with pytest.raises(ValueError):
+            res.expectation_pauli("X", [8])
+
+
+class TestFusedExecution:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fused_equals_unfused(self, seed):
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13))
+        circ = random_circuit(8, 60, seed=seed + 40)
+        plain = MemQSim(cfg).run(circ).statevector()
+        fused = MemQSim(cfg.with_updates(fuse_gates=True)).run(circ).statevector()
+        assert np.allclose(plain, fused, atol=1e-12)
+
+    def test_fusion_reduces_kernel_gates(self):
+        from repro.circuits import Circuit
+
+        c = Circuit(8)
+        for _ in range(4):
+            c.h(0).t(0).s(0)
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13))
+        plain = MemQSim(cfg).run(c)
+        fused = MemQSim(cfg.with_updates(fuse_gates=True)).run(c)
+        assert fused.scheduler_stats.gates_applied < plain.scheduler_stats.gates_applied

@@ -1,0 +1,121 @@
+"""Tests for parameter-shift gradients and the descent driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.observables import PauliSum, ising_hamiltonian
+from repro.variational import (
+    GradientDescent,
+    energy_of,
+    parameter_shift_gradient,
+)
+
+SIM = MemQSim(MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 12)))
+SIM1 = MemQSim(MemQSimConfig(chunk_qubits=1, compressor="zlib",
+                             device=DeviceSpec(memory_bytes=1 << 10)))
+
+
+def single_qubit_ansatz(params):
+    c = Circuit(1)
+    c.ry(float(params[0]), 0)
+    return c
+
+
+def chain_ansatz(params):
+    c = Circuit(4)
+    k = 0
+    for q in range(4):
+        c.ry(float(params[k]), q)
+        k += 1
+    for q in range(3):
+        c.cx(q, q + 1)
+    for q in range(4):
+        c.rz(float(params[k]), q)
+        k += 1
+    return c
+
+
+class TestEnergy:
+    def test_analytic_single_qubit(self):
+        # E(theta) = <Z> after RY(theta) = cos(theta).
+        h = PauliSum().add(1.0, "Z", (0,))
+        for theta in (0.0, 0.5, math.pi / 2, 2.0):
+            e = energy_of(single_qubit_ansatz, np.array([theta]), h, SIM1)
+            assert e == pytest.approx(math.cos(theta), abs=1e-9)
+
+
+class TestParameterShift:
+    def test_analytic_gradient(self):
+        h = PauliSum().add(1.0, "Z", (0,))
+        for theta in (0.3, 1.1, -0.7):
+            g = parameter_shift_gradient(
+                single_qubit_ansatz, np.array([theta]), h, SIM1
+            )
+            assert g[0] == pytest.approx(-math.sin(theta), abs=1e-9)
+
+    def test_matches_finite_differences(self):
+        h = ising_hamiltonian(4, j=0.8, g=0.4)
+        rng = np.random.default_rng(3)
+        params = rng.uniform(0, 2 * math.pi, size=8)
+        g = parameter_shift_gradient(chain_ansatz, params, h, SIM)
+        eps = 1e-5
+        for k in range(8):
+            p_plus = params.copy()
+            p_plus[k] += eps
+            p_minus = params.copy()
+            p_minus[k] -= eps
+            fd = (energy_of(chain_ansatz, p_plus, h, SIM)
+                  - energy_of(chain_ansatz, p_minus, h, SIM)) / (2 * eps)
+            assert g[k] == pytest.approx(fd, abs=1e-5)
+
+    def test_indices_subset(self):
+        h = ising_hamiltonian(4)
+        params = np.full(8, 0.4)
+        g = parameter_shift_gradient(chain_ansatz, params, h, SIM, indices=[0, 3])
+        assert np.all(g[[1, 2, 4, 5, 6, 7]] == 0.0)
+
+    def test_gradient_zero_at_optimum(self):
+        # RY on |0> with H = Z: minimum at theta = pi, gradient 0 there.
+        h = PauliSum().add(1.0, "Z", (0,))
+        g = parameter_shift_gradient(single_qubit_ansatz,
+                                     np.array([math.pi]), h, SIM1)
+        assert g[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGradientDescent:
+    def test_single_qubit_converges_to_minus_one(self):
+        h = PauliSum().add(1.0, "Z", (0,))
+        opt = GradientDescent(learning_rate=0.4, max_iterations=60,
+                              tolerance=1e-10)
+        res = opt.minimize(single_qubit_ansatz, np.array([0.3]), h, SIM1)
+        assert res.energy == pytest.approx(-1.0, abs=1e-4)
+        assert res.history[0] > res.energy
+
+    def test_history_monotone_enough(self):
+        h = ising_hamiltonian(4, j=1.0, g=0.3)
+        rng = np.random.default_rng(4)
+        opt = GradientDescent(learning_rate=0.05, max_iterations=10)
+        res = opt.minimize(chain_ansatz, rng.uniform(0, 1, 8), h, SIM)
+        assert res.history[-1] < res.history[0]
+        assert res.iterations >= 1
+
+    def test_callback_invoked(self):
+        h = PauliSum().add(1.0, "Z", (0,))
+        seen = []
+        GradientDescent(learning_rate=0.3, max_iterations=3).minimize(
+            single_qubit_ansatz, np.array([0.5]), h, SIM1,
+            callback=lambda it, e: seen.append((it, e)),
+        )
+        assert len(seen) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientDescent(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientDescent(momentum=1.0)

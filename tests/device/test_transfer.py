@@ -1,0 +1,133 @@
+"""Unit tests for the three transfer strategies (Table 1's subjects)."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    AsyncPerElementCopy,
+    BufferedCopy,
+    SyncCopy,
+    TransferLog,
+    make_strategy,
+)
+
+
+def rand(n, seed=0):
+    g = np.random.default_rng(seed)
+    return g.standard_normal(n) + 1j * g.standard_normal(n)
+
+
+ALL = [
+    lambda: SyncCopy(),
+    lambda: AsyncPerElementCopy(),
+    lambda: BufferedCopy(max_elements=4096),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mk", ALL)
+    def test_h2d_byte_exact(self, mk):
+        strat = mk()
+        host = rand(512, 1)
+        dev = np.zeros(512, dtype=np.complex128)
+        strat.h2d(host, dev)
+        assert np.array_equal(dev, host)
+
+    @pytest.mark.parametrize("mk", ALL)
+    def test_d2h_byte_exact(self, mk):
+        strat = mk()
+        dev = rand(256, 2)
+        host = np.zeros(256, dtype=np.complex128)
+        strat.d2h(dev, host)
+        assert np.array_equal(host, dev)
+
+    @pytest.mark.parametrize("mk", ALL)
+    def test_shape_mismatch_rejected(self, mk):
+        with pytest.raises(ValueError):
+            mk().h2d(np.zeros(4, dtype=complex), np.zeros(8, dtype=complex))
+
+    def test_buffered_capacity_enforced(self):
+        strat = BufferedCopy(max_elements=16)
+        with pytest.raises(ValueError):
+            strat.h2d(np.zeros(32, dtype=complex), np.zeros(32, dtype=complex))
+
+    def test_buffered_staging_size(self):
+        assert BufferedCopy(max_elements=128).staging_nbytes == 128 * 16
+
+    def test_buffered_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferedCopy(max_elements=0)
+
+
+class TestLogging:
+    def test_records_accumulate(self):
+        strat = SyncCopy()
+        host = rand(64, 3)
+        dev = np.zeros(64, dtype=complex)
+        strat.h2d(host, dev)
+        strat.d2h(dev, host)
+        assert len(strat.log.records) == 2
+        assert strat.log.records[0].direction == "h2d"
+        assert strat.log.records[1].direction == "d2h"
+        assert strat.log.total_bytes("h2d") == 64 * 16
+
+    def test_shared_log(self):
+        log = TransferLog()
+        a = SyncCopy(log)
+        b = AsyncPerElementCopy(log)
+        buf = np.zeros(8, dtype=complex)
+        a.h2d(buf, buf.copy())
+        b.h2d(buf, buf.copy())
+        assert len(log.records) == 2
+        assert {r.strategy for r in log.records} == {"sync", "async"}
+
+    def test_bandwidth(self):
+        log = TransferLog()
+        strat = SyncCopy(log)
+        host = rand(1 << 16, 4)
+        dev = np.empty_like(host)
+        strat.h2d(host, dev)
+        assert log.bandwidth_gbps("h2d") > 0
+
+    def test_clear(self):
+        strat = SyncCopy()
+        strat.h2d(np.zeros(4, dtype=complex), np.zeros(4, dtype=complex))
+        strat.log.clear()
+        assert strat.log.total_seconds() == 0.0
+
+
+class TestRelativeSpeed:
+    def test_async_is_much_slower_than_sync(self):
+        """The Table 1 effect: per-element initiation dominates."""
+        n = 1 << 14
+        host = rand(n, 5)
+        dev = np.empty_like(host)
+        sync, asyn = SyncCopy(), AsyncPerElementCopy()
+        t_sync = min(sync.h2d(host, dev) for _ in range(3))
+        t_async = asyn.h2d(host, dev)
+        assert t_async > 20 * t_sync  # paper reports ~870x at 2^20+
+
+    def test_buffer_is_close_to_sync(self):
+        n = 1 << 16
+        host = rand(n, 6)
+        dev = np.empty_like(host)
+        sync = SyncCopy()
+        buff = BufferedCopy(max_elements=n)
+        t_sync = min(sync.h2d(host, dev) for _ in range(5))
+        t_buff = min(buff.h2d(host, dev) for _ in range(5))
+        assert t_buff < 10 * t_sync  # same order of magnitude
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_strategy("sync").name == "sync"
+        assert make_strategy("async").name == "async"
+        assert make_strategy("buffer", max_elements=8).name == "buffer"
+
+    def test_buffer_requires_capacity(self):
+        with pytest.raises(ValueError):
+            make_strategy("buffer")
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_strategy("teleport")

@@ -1,0 +1,96 @@
+"""Integration: lossy fidelity scaling and memory-footprint claims."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_states, error_growth_profile, sweep
+from repro.circuits import get_workload, qft
+from repro.compression import fidelity_floor
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec, HostSpec
+from repro.statevector import DenseSimulator
+
+
+def cfg(eb=1e-7, chunk=4):
+    return MemQSimConfig(
+        chunk_qubits=chunk,
+        compressor="szlike",
+        compressor_options={"error_bound": eb},
+        device=DeviceSpec(memory_bytes=(1 << (chunk + 1)) * 16 * 2),
+        host=HostSpec(memory_bytes=1 << 26, cores=4),
+    )
+
+
+class TestFidelityScaling:
+    def test_fidelity_improves_with_tighter_bound(self):
+        circ = get_workload("supremacy", 8)
+        ref = DenseSimulator().run(circ).data
+        fids = []
+        for eb in (1e-3, 1e-5, 1e-7):
+            res = MemQSim(cfg(eb)).run(circ)
+            fids.append(compare_states(ref, res.statevector()).fidelity)
+        assert fids[0] <= fids[1] + 1e-12 <= fids[2] + 1e-11
+        assert fids[2] > 1 - 1e-8
+
+    def test_error_growth_profile_monotone_gates(self):
+        circ = qft(8)
+        points = error_growth_profile(circ, cfg(1e-6), checkpoints=[5, 20, len(circ)])
+        assert [p.gates_executed for p in points] == [5, 20, len(circ)]
+        for p in points:
+            assert p.comparison.fidelity > 0.999
+
+    def test_fidelity_floor_holds_end_to_end(self):
+        circ = get_workload("qaoa", 8)
+        ref = DenseSimulator().run(circ).data
+        eb = 1e-6
+        res = MemQSim(cfg(eb)).run(circ)
+        f = compare_states(ref, res.statevector()).fidelity
+        # One recompression per stage pass; floor with that budget must hold.
+        budget = eb * (res.plan.num_stages + 1)
+        assert f >= fidelity_floor(budget, 1 << 8) - 1e-9
+
+
+class TestMemoryClaims:
+    def test_structured_states_use_less_than_dense(self):
+        res = MemQSim(cfg(1e-6, chunk=4)).run(get_workload("ghz", 10))
+        assert res.tracker.peak("chunk_store") < res.dense_bytes
+
+    def test_device_peak_bounded_by_spec(self):
+        c = cfg(1e-6, chunk=4)
+        res = MemQSim(c).run(get_workload("qft", 10))
+        assert res.peak_device_bytes <= c.device.memory_bytes
+
+    def test_host_buffers_bounded_by_pool(self):
+        c = cfg(1e-6, chunk=4)
+        res = MemQSim(c).run(get_workload("random", 9))
+        max_group = res.plan.max_group_size
+        pool_bytes = c.num_buffers * ((1 << 4) << max_group) * 16
+        assert res.tracker.peak("host_buffers") <= pool_bytes
+
+    def test_compression_ratio_workload_ordering(self):
+        # GHZ (2 nonzeros) must compress far better than supremacy (random).
+        r_ghz = MemQSim(cfg()).run(get_workload("ghz", 9)).compression_ratio
+        r_sup = MemQSim(cfg()).run(get_workload("supremacy", 9)).compression_ratio
+        assert r_ghz > 5 * r_sup
+
+
+class TestSweepDriver:
+    def test_sweep_grid_produces_all_cells(self):
+        recs = sweep(
+            [("ghz", get_workload("ghz", 8)), ("qft", get_workload("qft", 8))],
+            cfg(),
+            {"compressor": ["zlib", "szlike"]},
+        )
+        assert len(recs) == 4
+        assert all(r.fidelity is not None for r in recs)
+        assert {r.workload for r in recs} == {"ghz", "qft"}
+
+    def test_sweep_skips_fidelity_when_disabled(self):
+        recs = sweep([("ghz", get_workload("ghz", 8))], cfg(), compute_fidelity=False)
+        assert recs[0].fidelity is None
+
+    def test_sweep_record_derived_fields(self):
+        recs = sweep([("ghz", get_workload("ghz", 8))], cfg())
+        r = recs[0]
+        assert r.qubit_headroom == pytest.approx(np.log2(r.compression_ratio))
+        assert r.memory_saving > 0

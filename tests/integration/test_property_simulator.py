@@ -1,0 +1,95 @@
+"""Property-based system tests: hypothesis drives whole random circuits
+through MEMQSim and checks the global invariants against the dense oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.statevector import DenseSimulator
+
+N = 7  # qubits for generated circuits
+
+_1Q = ["h", "x", "y", "z", "s", "t", "sx", "sdg", "tdg"]
+_1QP = ["rx", "ry", "rz", "p"]
+_2Q = ["cx", "cz", "swap", "iswap", "ch"]
+_2QP = ["cp", "rzz", "crx"]
+
+
+@st.composite
+def circuits(draw, n=N, max_gates=25):
+    num = draw(st.integers(min_value=0, max_value=max_gates))
+    c = Circuit(n)
+    for _ in range(num):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            c.add(draw(st.sampled_from(_1Q)), draw(st.integers(0, n - 1)))
+        elif kind == 1:
+            c.add(draw(st.sampled_from(_1QP)), draw(st.integers(0, n - 1)),
+                  params=(draw(st.floats(-math.pi, math.pi,
+                                         allow_nan=False)),))
+        else:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            if kind == 2:
+                c.add(draw(st.sampled_from(_2Q)), a, b)
+            else:
+                c.add(draw(st.sampled_from(_2QP)), a, b,
+                      params=(draw(st.floats(-math.pi, math.pi,
+                                             allow_nan=False)),))
+    return c
+
+
+CFG = MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                    device=DeviceSpec(memory_bytes=1 << 12))
+
+
+class TestSystemProperties:
+    @given(circ=circuits())
+    @settings(max_examples=25, deadline=None)
+    def test_lossless_equals_dense(self, circ):
+        ref = DenseSimulator().run(circ).data
+        got = MemQSim(CFG).run(circ).statevector()
+        assert np.allclose(got, ref, atol=1e-12)
+
+    @given(circ=circuits(max_gates=15))
+    @settings(max_examples=15, deadline=None)
+    def test_norm_preserved(self, circ):
+        res = MemQSim(CFG).run(circ)
+        assert res.norm() == pytest.approx(1.0, abs=1e-10)
+
+    @given(circ=circuits(max_gates=15), q=st.integers(0, N - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_expectation_z_consistent(self, circ, q):
+        res = MemQSim(CFG).run(circ)
+        ref = DenseSimulator().run(circ)
+        assert res.expectation_z(q) == pytest.approx(
+            ref.expectation_pauli("Z", [q]), abs=1e-10
+        )
+
+    @given(circ=circuits(max_gates=12))
+    @settings(max_examples=10, deadline=None)
+    def test_lossy_respects_fidelity_floor(self, circ):
+        from repro.compression import fidelity_floor
+
+        eb = 1e-7
+        cfg = CFG.with_updates(compressor="szlike",
+                               compressor_options={"error_bound": eb})
+        res = MemQSim(cfg).run(circ)
+        ref = DenseSimulator().run(circ).data
+        budget = eb * (res.plan.num_stages + 1)
+        assert res.fidelity_vs(ref) >= fidelity_floor(budget, 1 << N) - 1e-9
+
+    @given(circ=circuits(max_gates=12))
+    @settings(max_examples=10, deadline=None)
+    def test_cache_transparent(self, circ):
+        plain = MemQSim(CFG).run(circ).statevector()
+        cached = MemQSim(CFG.with_updates(cache_chunks=5)).run(circ).statevector()
+        assert np.allclose(plain, cached, atol=1e-12)

@@ -1,0 +1,201 @@
+"""Unit tests for the out-of-core disk-backed chunk store."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_compressor
+from repro.memory import ChunkLayout, DiskChunkStore, MemoryTracker
+
+
+@pytest.fixture
+def store(tmp_path):
+    lay = ChunkLayout(8, 3)
+    s = DiskChunkStore(lay, get_compressor("zlib"), tmp_path / "chunks.log",
+                       MemoryTracker())
+    yield s
+    s.close()
+
+
+def rand_state(n, seed=0):
+    g = np.random.default_rng(seed)
+    v = g.standard_normal(1 << n) + 1j * g.standard_normal(1 << n)
+    return v / np.linalg.norm(v)
+
+
+class TestBasics:
+    def test_zero_state_roundtrip(self, store):
+        store.init_zero_state()
+        sv = store.to_statevector()
+        assert sv[0] == 1.0 and np.count_nonzero(sv) == 1
+
+    def test_random_state_roundtrip(self, store):
+        v = rand_state(8, 1)
+        store.init_from_statevector(v)
+        assert np.array_equal(store.to_statevector(), v)
+
+    def test_store_load_single_chunk(self, store):
+        store.init_zero_state()
+        data = rand_state(3, 2)
+        store.store(5, data)
+        assert np.array_equal(store.load(5), data)
+
+    def test_uninitialized_load_raises(self, store):
+        with pytest.raises(KeyError):
+            store.load(0)
+
+    def test_zero_blob_shared_on_disk(self, store):
+        store.init_zero_state()
+        # all-zero chunks share one record: live bytes ~ 2 blobs
+        sizes = store.blob_sizes()
+        assert store.compressed_nbytes() < sum(sizes)
+
+    def test_tracker_uses_disk_category(self, store):
+        store.init_zero_state()
+        assert store.tracker.current("disk_store") == store.file_bytes
+        assert store.tracker.current("chunk_store") == 0
+
+    def test_validation(self, tmp_path):
+        lay = ChunkLayout(4, 2)
+        with pytest.raises(ValueError):
+            DiskChunkStore(lay, get_compressor("zlib"), tmp_path / "x.log",
+                           compact_threshold=0.0)
+
+
+class TestCompaction:
+    def test_updates_accumulate_garbage(self, store):
+        store.init_from_statevector(rand_state(8, 3))
+        before = store.file_bytes
+        for k in range(8):
+            store.store(k, store.load(k))
+        assert store.file_bytes > before or store.compactions > 0
+
+    def test_compaction_preserves_content(self, store):
+        v = rand_state(8, 4)
+        store.init_from_statevector(v)
+        for _ in range(3):
+            for k in range(store.layout.num_chunks):
+                store.store(k, store.load(k))
+        store.compact()
+        assert np.array_equal(store.to_statevector(), v)
+        assert store.garbage_fraction == pytest.approx(0.0)
+
+    def test_auto_compaction_bounds_file_size(self, tmp_path):
+        lay = ChunkLayout(10, 4)
+        s = DiskChunkStore(lay, get_compressor("null"), tmp_path / "big.log",
+                           MemoryTracker(), compact_threshold=0.3)
+        try:
+            v = rand_state(10, 5)
+            s.init_from_statevector(v)
+            base = s.compressed_nbytes()
+            for _ in range(10):
+                for k in range(lay.num_chunks):
+                    s.store(k, s.load(k))
+            # Without compaction the file would be ~11x the live bytes
+            # (~190 KB); auto-compaction caps it near the 64 KiB floor the
+            # store uses before it bothers compacting.
+            assert s.file_bytes < (1 << 16) + 2 * base
+            assert s.compactions > 0
+            assert np.array_equal(s.to_statevector(), v)
+        finally:
+            s.close()
+
+    def test_zero_record_survives_compaction(self, store):
+        store.init_zero_state()
+        store.compact()
+        store.zero_chunk(3)
+        assert np.all(store.load(3) == 0)
+
+
+class TestIntegration:
+    def test_permute(self, store):
+        v = rand_state(8, 6)
+        store.init_from_statevector(v)
+        nc = store.layout.num_chunks
+        perm = [k ^ 1 for k in range(nc)]
+        store.permute(perm)
+        got = store.to_statevector()
+        want = v.reshape(nc, -1)[perm].reshape(-1)
+        assert np.array_equal(got, want)
+
+    def test_persistence_roundtrip(self, store, tmp_path):
+        from repro.memory import load_store, save_store
+
+        v = rand_state(8, 7)
+        store.init_from_statevector(v)
+        p = tmp_path / "ck.mqs"
+        save_store(store, p)
+        back = load_store(p, get_compressor("zlib"))
+        assert np.array_equal(back.to_statevector(), v)
+
+    def test_scheduler_runs_on_disk_store(self, tmp_path):
+        from repro.circuits import random_circuit
+        from repro.device import DeviceExecutor, DeviceSpec, Timeline
+        from repro.memory import BufferPool
+        from repro.pipeline import StageScheduler, plan_stages
+        from repro.statevector import DenseSimulator
+
+        lay = ChunkLayout(8, 3)
+        tracker = MemoryTracker()
+        s = DiskChunkStore(lay, get_compressor("zlib"),
+                           tmp_path / "sim.log", tracker)
+        try:
+            s.init_zero_state()
+            timeline = Timeline()
+            ex = DeviceExecutor(DeviceSpec(memory_bytes=(1 << 5) * 16),
+                                timeline=timeline, tracker=tracker)
+            pool = BufferPool(2, 1 << 4, tracker)
+            sched = StageScheduler(lay, s, ex, pool, timeline)
+            circ = random_circuit(8, 50, seed=61)
+            sched.run(plan_stages(circ, lay, 1))
+            ref = DenseSimulator().run(circ).data
+            assert np.allclose(s.to_statevector(), ref, atol=1e-12)
+        finally:
+            s.close()
+
+    def test_context_manager_removes_file(self, tmp_path):
+        lay = ChunkLayout(4, 2)
+        p = tmp_path / "ctx.log"
+        with DiskChunkStore(lay, get_compressor("zlib"), p) as s:
+            s.init_zero_state()
+            assert p.exists()
+        assert not p.exists()
+
+
+class TestDiskPlusCache:
+    def test_cache_over_disk_store(self, tmp_path):
+        from repro.memory import ChunkCache
+
+        lay = ChunkLayout(8, 3)
+        tracker = MemoryTracker()
+        disk = DiskChunkStore(lay, get_compressor("zlib"),
+                              tmp_path / "dc.log", tracker)
+        try:
+            v = rand_state(8, 11)
+            disk.init_from_statevector(v)
+            cache = ChunkCache(disk, capacity_chunks=4, policy="mru",
+                               tracker=tracker)
+            # writes are deferred, reads hit, flush lands on disk
+            data = cache.load(0)
+            data *= -1.0
+            cache.store(0, data)
+            assert cache.cache_stats.write_hits >= 1
+            cache.flush()
+            assert np.allclose(disk.load(0), -v[:8])
+        finally:
+            disk.close()
+
+    def test_memqsim_disk_plus_cache(self, tmp_path):
+        from repro.circuits import random_circuit
+        from repro.core import MemQSim, MemQSimConfig
+        from repro.device import DeviceSpec
+        from repro.statevector import DenseSimulator
+
+        circ = random_circuit(8, 40, seed=88)
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13),
+                            store="disk", disk_path=str(tmp_path / "mc.log"),
+                            cache_chunks=6)
+        res = MemQSim(cfg).run(circ)
+        ref = DenseSimulator().run(circ).data
+        assert np.allclose(res.statevector(), ref, atol=1e-12)
+        res.store.inner.close()

@@ -1,0 +1,148 @@
+"""Unit tests for chunk layout index arithmetic (plus hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import ChunkLayout
+
+
+class TestBasics:
+    def test_sizes(self):
+        lay = ChunkLayout(10, 4)
+        assert lay.num_amplitudes == 1024
+        assert lay.chunk_size == 16
+        assert lay.num_chunks == 64
+        assert lay.num_global_qubits == 6
+        assert lay.chunk_nbytes == 256
+
+    def test_chunk_equals_whole_vector(self):
+        lay = ChunkLayout(5, 5)
+        assert lay.num_chunks == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ChunkLayout(4, 0)
+        with pytest.raises(ValueError):
+            ChunkLayout(4, 5)
+
+    def test_classification(self):
+        lay = ChunkLayout(8, 3)
+        assert lay.is_local(0) and lay.is_local(2)
+        assert not lay.is_local(3) and not lay.is_local(7)
+        assert lay.local_qubits([0, 2, 5]) == (0, 2)
+        assert lay.global_qubits([0, 2, 5]) == (5,)
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(ValueError):
+            ChunkLayout(4, 2).is_local(4)
+
+
+class TestSplitJoin:
+    def test_exhaustive_bijection_small(self):
+        lay = ChunkLayout(8, 3)
+        seen = set()
+        for i in range(lay.num_amplitudes):
+            c, o = lay.split(i)
+            assert lay.join(c, o) == i
+            seen.add((c, o))
+        assert len(seen) == lay.num_amplitudes
+
+    def test_bounds_checked(self):
+        lay = ChunkLayout(4, 2)
+        with pytest.raises(ValueError):
+            lay.split(16)
+        with pytest.raises(ValueError):
+            lay.join(4, 0)
+        with pytest.raises(ValueError):
+            lay.join(0, 4)
+
+    def test_chunk_base_index(self):
+        lay = ChunkLayout(6, 2)
+        assert lay.chunk_base_index(3) == 12
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bijection(self, n, data):
+        c = data.draw(st.integers(min_value=1, max_value=n))
+        lay = ChunkLayout(n, c)
+        i = data.draw(st.integers(min_value=0, max_value=lay.num_amplitudes - 1))
+        chunk, off = lay.split(i)
+        assert 0 <= chunk < lay.num_chunks
+        assert 0 <= off < lay.chunk_size
+        assert lay.join(chunk, off) == i
+
+
+class TestChunkGroups:
+    def test_no_global_qubits(self):
+        lay = ChunkLayout(6, 3)
+        pl = lay.chunk_groups([0, 1])
+        assert pl.group_qubits == ()
+        assert pl.groups == tuple((k,) for k in range(8))
+
+    def test_single_global_qubit_pairs(self):
+        lay = ChunkLayout(6, 3)
+        pl = lay.chunk_groups([4])
+        assert pl.group_qubits == (4,)
+        assert pl.virtual_positions == (3,)
+        # qubit 4 -> chunk bit 1: pairs differ by 2
+        assert (0, 2) in pl.groups and (1, 3) in pl.groups
+
+    def test_groups_partition_all_chunks(self):
+        lay = ChunkLayout(9, 3)
+        pl = lay.chunk_groups([3, 7, 8])
+        seen = [k for g in pl.groups for k in g]
+        assert sorted(seen) == list(range(lay.num_chunks))
+        assert all(len(g) == 8 for g in pl.groups)
+
+    def test_group_members_ordered_by_subindex(self):
+        lay = ChunkLayout(6, 2)  # chunk bits for qubits 2..5
+        pl = lay.chunk_groups([2, 4])  # bits 0 and 2 of chunk id
+        g0 = pl.groups[0]
+        # base 0: j=0 -> 0; j=1 (bit of qubit2) -> 1; j=2 (qubit4) -> 4; j=3 -> 5
+        assert g0 == (0, 1, 4, 5)
+
+    def test_virtual_positions_are_contiguous(self):
+        lay = ChunkLayout(10, 4)
+        pl = lay.chunk_groups([7, 5, 9])
+        assert pl.group_qubits == (5, 7, 9)
+        assert pl.virtual_positions == (4, 5, 6)
+
+    def test_mixed_local_global_filtering(self):
+        lay = ChunkLayout(6, 3)
+        pl = lay.chunk_groups([1, 5])  # 1 local, 5 global
+        assert pl.group_qubits == (5,)
+
+    def test_gate_virtual_qubits(self):
+        lay = ChunkLayout(6, 3)
+        pl = lay.chunk_groups([4])
+        assert lay.gate_virtual_qubits((1, 4), pl) == (1, 3)
+        assert lay.gate_virtual_qubits((4, 2), pl) == (3, 2)
+
+    @given(
+        n=st.integers(min_value=3, max_value=14),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_groups_partition(self, n, data):
+        c = data.draw(st.integers(min_value=1, max_value=n - 1))
+        lay = ChunkLayout(n, c)
+        num_g = data.draw(st.integers(min_value=0, max_value=min(3, n - c)))
+        gq = data.draw(
+            st.lists(
+                st.integers(min_value=c, max_value=n - 1),
+                min_size=num_g,
+                max_size=num_g,
+                unique=True,
+            )
+        )
+        pl = lay.chunk_groups(gq)
+        seen = sorted(k for g in pl.groups for k in g)
+        assert seen == list(range(lay.num_chunks))
+        # concatenated group buffer reconstructs every amplitude once
+        t = len(pl.group_qubits)
+        assert all(len(g) == 1 << t for g in pl.groups)

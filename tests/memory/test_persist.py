@@ -1,0 +1,143 @@
+"""Unit tests for chunk-store persistence (checkpoint/restore)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_compressor
+from repro.memory import (
+    ChunkLayout,
+    CompressedChunkStore,
+    MemoryTracker,
+    StoreFormatError,
+    load_store,
+    save_store,
+)
+
+
+def make_store(n=6, c=3, codec="zlib"):
+    lay = ChunkLayout(n, c)
+    return CompressedChunkStore(lay, get_compressor(codec), MemoryTracker())
+
+
+class TestRoundTrip:
+    def test_zero_state(self, tmp_path):
+        store = make_store()
+        store.init_zero_state()
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        back = load_store(p, get_compressor("zlib"))
+        assert np.array_equal(back.to_statevector(), store.to_statevector())
+
+    def test_random_state(self, tmp_path, random_state_fn):
+        store = make_store()
+        v = random_state_fn(6, seed=1)
+        store.init_from_statevector(v)
+        p = tmp_path / "s.mqs"
+        nbytes = save_store(store, p)
+        assert nbytes == p.stat().st_size
+        back = load_store(p, get_compressor("zlib"))
+        assert np.array_equal(back.to_statevector(), v)
+
+    def test_zero_blob_sharing_preserved(self, tmp_path):
+        store = make_store(8, 3)
+        store.init_zero_state()
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        # shared blobs stored once: file much smaller than chunks * blob
+        per_blob = len(store._zero_blob)
+        assert p.stat().st_size < store.layout.num_chunks * per_blob
+
+    def test_tracker_populated_on_load(self, tmp_path):
+        store = make_store()
+        store.init_zero_state()
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        tracker = MemoryTracker()
+        back = load_store(p, get_compressor("zlib"), tracker)
+        assert tracker.current("chunk_store") == back.compressed_nbytes()
+
+    def test_uninitialized_chunks_survive(self, tmp_path):
+        store = make_store()
+        # only chunk 0 initialized
+        store.store(0, np.zeros(8, dtype=np.complex128)) if False else None
+        store._set_blob(0, store.compressor.compress(np.ones(8, dtype=np.complex128) / np.sqrt(8)))
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        back = load_store(p, get_compressor("zlib"))
+        back.load(0)
+        with pytest.raises(KeyError):
+            back.load(1)
+
+    def test_lossy_store_roundtrip(self, tmp_path, random_state_fn):
+        lay = ChunkLayout(6, 3)
+        comp = get_compressor("szlike", error_bound=1e-6)
+        store = CompressedChunkStore(lay, comp, MemoryTracker())
+        store.init_from_statevector(random_state_fn(6, seed=2))
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        back = load_store(p, get_compressor("szlike", error_bound=1e-6))
+        # blobs are carried verbatim: decompressions agree exactly
+        assert np.array_equal(back.to_statevector(), store.to_statevector())
+
+
+class TestValidation:
+    def test_magic_checked(self, tmp_path):
+        p = tmp_path / "bad.mqs"
+        p.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(StoreFormatError):
+            load_store(p, get_compressor("zlib"))
+
+    def test_compressor_name_checked(self, tmp_path):
+        store = make_store(codec="zlib")
+        store.init_zero_state()
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        with pytest.raises(StoreFormatError):
+            load_store(p, get_compressor("lzma"))
+
+    def test_truncation_detected(self, tmp_path, random_state_fn):
+        store = make_store()
+        store.init_from_statevector(random_state_fn(6, seed=3))
+        p = tmp_path / "s.mqs"
+        save_store(store, p)
+        data = p.read_bytes()
+        p.write_bytes(data[:-10])
+        with pytest.raises(StoreFormatError):
+            load_store(p, get_compressor("zlib"))
+
+
+class TestSimulatorIntegration:
+    def test_checkpoint_resume_equals_single_run(self, tmp_path, dense):
+        from repro.circuits import random_circuit
+        from repro.core import MemQSim, MemQSimConfig
+        from repro.device import DeviceSpec
+
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13))
+        first = random_circuit(8, 30, seed=5)
+        second = random_circuit(8, 30, seed=6)
+        p = tmp_path / "mid.mqs"
+        MemQSim(cfg).run(first).save_state(p)
+        resumed = MemQSim(cfg).run(second, checkpoint=str(p))
+        whole = MemQSim(cfg).run(first.compose(second))
+        assert np.allclose(resumed.statevector(), whole.statevector(), atol=1e-12)
+
+    def test_checkpoint_qubit_mismatch(self, tmp_path):
+        from repro.circuits import ghz
+        from repro.core import MemQSim, MemQSimConfig
+        from repro.device import DeviceSpec
+
+        cfg = MemQSimConfig(chunk_qubits=3, compressor="zlib",
+                            device=DeviceSpec(memory_bytes=1 << 13))
+        p = tmp_path / "s.mqs"
+        MemQSim(cfg).run(ghz(6)).save_state(p)
+        with pytest.raises(ValueError):
+            MemQSim(cfg).run(ghz(7), checkpoint=str(p))
+
+    def test_checkpoint_and_initial_state_exclusive(self, tmp_path):
+        from repro.circuits import ghz
+        from repro.core import MemQSim
+        from repro.statevector import StateVector
+
+        with pytest.raises(ValueError):
+            MemQSim().run(ghz(4), initial_state=StateVector(4), checkpoint="x")

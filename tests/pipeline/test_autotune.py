@@ -1,0 +1,72 @@
+"""Tests for the chunk-granularity auto-tuner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, qft, random_circuit
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.pipeline import autotune_chunk_qubits
+
+
+def cfg(dev_amps=1 << 11):
+    return MemQSimConfig(compressor="zlib",
+                         device=DeviceSpec(memory_bytes=dev_amps * 16))
+
+
+class TestAutotune:
+    def test_returns_feasible_candidate(self):
+        rep = autotune_chunk_qubits(qft(10), cfg())
+        assert 2 <= rep.best_chunk_qubits <= 9
+        assert all(c <= 10 for c, _ in rep.scores)
+
+    def test_prefers_coarse_chunks_for_qft(self):
+        # A1's trend: per-pass overhead dominates at fine granularity.
+        rep = autotune_chunk_qubits(qft(11), cfg())
+        assert rep.best_chunk_qubits >= 5
+
+    def test_respects_device_capacity(self):
+        # Tiny device: coarse chunks infeasible, candidates capped.
+        rep = autotune_chunk_qubits(qft(10), cfg(dev_amps=1 << 6))
+        assert max(c for c, _ in rep.scores) <= 4
+
+    def test_explicit_candidates(self):
+        rep = autotune_chunk_qubits(random_circuit(9, 40, seed=1), cfg(),
+                                    candidates=[3, 5])
+        assert {c for c, _ in rep.scores} == {3, 5}
+        assert rep.best_chunk_qubits in (3, 5)
+
+    def test_infeasible_candidates_scored_inf(self):
+        rep = autotune_chunk_qubits(qft(10), cfg(dev_amps=1 << 6),
+                                    candidates=[3, 9])
+        scores = dict(rep.scores)
+        assert math.isinf(scores[9])
+        assert rep.best_chunk_qubits == 3
+
+    def test_no_feasible_sizes_raises(self):
+        with pytest.raises(ValueError):
+            autotune_chunk_qubits(qft(10), cfg(), candidates=[])
+
+    def test_probe_extends_to_reach_global_qubits(self):
+        # Circuit whose first gates are all on qubit 0: the probe must
+        # extend so candidates differ at all.
+        c = Circuit(10)
+        for _ in range(30):
+            c.t(0)
+        c.h(9)
+        rep = autotune_chunk_qubits(c, cfg(), probe_gates=8)
+        assert rep.probe_gates > 8
+
+    def test_tuned_config_runs(self):
+        circ = random_circuit(10, 50, seed=2)
+        base = cfg()
+        rep = autotune_chunk_qubits(circ, base)
+        tuned = base.with_updates(chunk_qubits=rep.best_chunk_qubits)
+        res = MemQSim(tuned).run(circ)
+        assert res.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_table_renders(self):
+        rep = autotune_chunk_qubits(qft(9), cfg(), candidates=[3, 4])
+        assert "best" in rep.table()

@@ -1,0 +1,61 @@
+"""Unit tests for the CPU offload policy."""
+
+import pytest
+
+from repro.device import Stage, Timeline
+from repro.pipeline import advise_from_timeline, balanced_offload_fraction
+
+
+class TestBalancedFraction:
+    def test_no_idle_cores_means_zero(self):
+        assert balanced_offload_fraction(1.0, 1.0, 0) == 0.0
+
+    def test_zero_cpu_cost_means_zero(self):
+        assert balanced_offload_fraction(1.0, 0.0, 4) == 0.0
+
+    def test_zero_gpu_cost_means_all_cpu(self):
+        assert balanced_offload_fraction(0.0, 1.0, 4) == 1.0
+
+    def test_equal_costs_one_core(self):
+        # r = 1, 1 core: f = 1/2 — each path takes half the groups.
+        assert balanced_offload_fraction(1.0, 1.0, 1) == pytest.approx(0.5)
+
+    def test_more_cores_more_offload(self):
+        f1 = balanced_offload_fraction(1.0, 2.0, 1)
+        f4 = balanced_offload_fraction(1.0, 2.0, 4)
+        assert f4 > f1
+
+    def test_slow_cpu_little_offload(self):
+        f = balanced_offload_fraction(1.0, 100.0, 1)
+        assert f < 0.02
+
+    def test_clamped_to_unit_interval(self):
+        assert 0.0 <= balanced_offload_fraction(1e9, 1e-9, 100) <= 1.0
+
+    def test_balance_property(self):
+        # With f = f*, GPU time on (1-f) groups == CPU time on f/cores groups.
+        gpu, cpu, cores = 0.7, 2.1, 3
+        f = balanced_offload_fraction(gpu, cpu, cores)
+        lhs = (1 - f) * gpu
+        rhs = f * cpu / cores
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestAdvise:
+    def test_advise_from_events(self):
+        t = Timeline()
+        for chunk in range(4):
+            t.record(Stage.DECOMPRESS, 0.02, chunk)
+            t.record(Stage.H2D, 0.01, chunk)
+            t.record(Stage.KERNEL, 0.03, chunk)
+            t.record(Stage.D2H, 0.01, chunk)
+            t.record(Stage.COMPRESS, 0.02, chunk)
+        advice = advise_from_timeline(t, idle_cores=3)
+        assert advice.gpu_path_seconds_per_group == pytest.approx(0.05)
+        assert advice.cpu_path_seconds_per_group == pytest.approx(0.07)
+        assert 0.0 < advice.fraction < 1.0
+        assert advice.idle_cores == 3
+
+    def test_advise_empty_timeline(self):
+        advice = advise_from_timeline(Timeline(), idle_cores=2)
+        assert advice.fraction == 0.0

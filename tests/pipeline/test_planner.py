@@ -1,0 +1,183 @@
+"""Unit tests for the offline stage planner."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, make_diagonal_gate, qft, random_circuit
+from repro.device import DeviceSpec
+from repro.memory import ChunkLayout
+from repro.pipeline import (
+    GateStage,
+    PermutationStage,
+    describe_plan,
+    max_group_qubits_for,
+    plan_stages,
+)
+
+
+@pytest.fixture
+def lay():
+    return ChunkLayout(8, 3)
+
+
+class TestMaxGroupQubits:
+    def test_grows_with_device(self, lay):
+        small = max_group_qubits_for(lay, DeviceSpec(memory_bytes=(1 << 4) * 16 * 2))
+        big = max_group_qubits_for(lay, DeviceSpec(memory_bytes=(1 << 8) * 16 * 2))
+        assert big > small
+
+    def test_capped_by_num_qubits(self):
+        lay = ChunkLayout(5, 3)
+        t = max_group_qubits_for(lay, DeviceSpec(memory_bytes=1 << 30))
+        assert t == 2  # cannot exceed the global-qubit count
+
+    def test_chunk_must_fit(self, lay):
+        with pytest.raises(ValueError):
+            max_group_qubits_for(lay, DeviceSpec(memory_bytes=16))
+
+    def test_double_buffer_halves(self, lay):
+        d = DeviceSpec(memory_bytes=(1 << 6) * 16 * 2)
+        single = max_group_qubits_for(lay, d, double_buffer=False)
+        double = max_group_qubits_for(lay, d, double_buffer=True)
+        assert single >= double
+
+
+class TestLocalGates:
+    def test_all_local_one_stage(self, lay):
+        c = Circuit(8).h(0).cx(0, 1).t(2).cz(1, 2)
+        stages = plan_stages(c, lay, 2)
+        assert len(stages) == 1
+        assert isinstance(stages[0], GateStage)
+        assert stages[0].is_local
+
+    def test_diagonal_global_stays_local(self, lay):
+        c = Circuit(8).h(0).cz(0, 7).rz(0.3, 6).cp(0.1, 5, 6)
+        stages = plan_stages(c, lay, 2)
+        assert len(stages) == 1
+        assert stages[0].group_qubits == ()
+
+    def test_stored_diagonal_stays_local(self, lay):
+        c = Circuit(8)
+        d = np.ones(1 << 8, dtype=complex)
+        d[-1] = -1
+        c.diagonal(d, *range(8))
+        stages = plan_stages(c, lay, 1)
+        assert len(stages) == 1
+        assert stages[0].group_qubits == ()
+
+
+class TestGrouping:
+    def test_global_gate_forces_group(self, lay):
+        c = Circuit(8).h(7)
+        stages = plan_stages(c, lay, 2)
+        assert stages[0].group_qubits == (7,)
+
+    def test_union_grows_until_cap(self, lay):
+        c = Circuit(8).h(3).h(4).h(5)
+        stages = plan_stages(c, lay, 3)
+        assert len(stages) == 1
+        assert stages[0].group_qubits == (3, 4, 5)
+
+    def test_cap_splits_stages(self, lay):
+        c = Circuit(8).h(3).h(4).h(5)
+        stages = plan_stages(c, lay, 2)
+        assert len(stages) == 2
+
+    def test_oversized_gate_lowered_by_swaps(self, lay):
+        from scipy.stats import unitary_group
+
+        u = unitary_group.rvs(8, random_state=np.random.default_rng(0))
+        c = Circuit(8).unitary(u, 3, 4, 5)
+        stages = plan_stages(c, lay, 2)
+        gates = [g for s in stages for g in s.gates]
+        assert sum(1 for g in gates if g.name == "swap") == 2
+        assert all(
+            len(lay.global_qubits(g.qubits)) <= 2
+            for s in stages if isinstance(s, GateStage) for g in s.gates
+        )
+
+    def test_global_gate_with_zero_cap_rejected(self, lay):
+        c = Circuit(8).h(7)
+        with pytest.raises(ValueError):
+            plan_stages(c, lay, 0)
+
+    def test_gate_order_preserved(self, lay):
+        c = Circuit(8).h(0).h(7).t(1).h(6)
+        stages = plan_stages(c, lay, 1)
+        flattened = [g for s in stages for g in s.gates]
+        assert [g.name for g in flattened] == ["h", "h", "t", "h"]
+        # h(0) and h(7) share a stage (local gates ride along); h(6)
+        # overflows the 1-qubit group cap and opens a new stage.
+        assert [tuple(s.group_qubits) for s in stages] == [(7,), (6,)]
+
+
+class TestPermutations:
+    def test_global_x_becomes_permutation(self, lay):
+        stages = plan_stages(Circuit(8).x(7), lay, 2)
+        assert len(stages) == 1
+        assert isinstance(stages[0], PermutationStage)
+        bit = 1 << (7 - 3)
+        assert stages[0].perm == tuple(k ^ bit for k in range(32))
+
+    def test_local_x_is_not_permutation(self, lay):
+        stages = plan_stages(Circuit(8).x(0), lay, 2)
+        assert isinstance(stages[0], GateStage)
+
+    def test_global_swap_becomes_permutation(self, lay):
+        stages = plan_stages(Circuit(8).swap(6, 7), lay, 2)
+        assert isinstance(stages[0], PermutationStage)
+
+    def test_mixed_swap_not_permutation(self, lay):
+        stages = plan_stages(Circuit(8).swap(0, 7), lay, 2)
+        assert isinstance(stages[0], GateStage)
+
+    def test_consecutive_permutations_merge(self, lay):
+        stages = plan_stages(Circuit(8).x(7).x(6), lay, 2)
+        assert len(stages) == 1
+        bits = (1 << 4) | (1 << 3)
+        assert stages[0].perm == tuple(k ^ bits for k in range(32))
+
+    def test_permutation_can_be_disabled(self, lay):
+        stages = plan_stages(Circuit(8).x(7), lay, 2, enable_permutation_stages=False)
+        assert isinstance(stages[0], GateStage)
+
+    def test_permutation_composition_order(self, lay):
+        # x(7) then swap(6,7): composed permutation must equal applying
+        # the two blob permutations in order.
+        stages = plan_stages(Circuit(8).x(7).swap(6, 7), lay, 2)
+        assert len(stages) == 1
+        p1 = [k ^ (1 << 4) for k in range(32)]
+
+        def swap_bits(k):
+            a, b = (k >> 3) & 1, (k >> 4) & 1
+            return (k & ~(1 << 3) & ~(1 << 4)) | (b << 3) | (a << 4)
+
+        p2 = [swap_bits(k) for k in range(32)]
+        composed = tuple(p1[p2[d]] for d in range(32))
+        assert stages[0].perm == composed
+
+
+class TestDescribePlan:
+    def test_report_counts(self, lay):
+        c = Circuit(8).h(0).x(7).h(6).cz(0, 5)
+        stages = plan_stages(c, lay, 2)
+        rep = describe_plan(stages, lay)
+        assert rep.num_permutation_stages == 1
+        assert rep.gates_total == 4
+        assert rep.num_stages == len(stages)
+        assert rep.group_passes > 0
+
+    def test_group_passes_scale_with_group_size(self, lay):
+        c1 = plan_stages(Circuit(8).h(7), lay, 2)
+        rep1 = describe_plan(c1, lay)
+        assert rep1.group_passes == lay.num_chunks // 2
+
+    def test_realistic_qft_plan(self):
+        lay = ChunkLayout(10, 5)
+        c = qft(10)
+        stages = plan_stages(c, lay, 2)
+        rep = describe_plan(stages, lay)
+        assert rep.gates_total == len(c)
+        # QFT's controlled phases are diagonal: most gates land in
+        # stages without huge groups.
+        assert rep.max_group_size <= 2

@@ -1,0 +1,130 @@
+"""Unit tests for entanglement measures."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz, supremacy_brickwork
+from repro.statevector import (
+    DenseSimulator,
+    StateVector,
+    entanglement_entropy,
+    entropy_profile,
+    max_entropy,
+    reduced_density_matrix,
+    von_neumann_entropy,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return DenseSimulator()
+
+
+class TestEntanglementEntropy:
+    def test_product_state_zero(self, sim):
+        sv = sim.run(Circuit(6).h(0).h(2).x(4))
+        for cut in range(1, 6):
+            assert entanglement_entropy(sv, cut) == pytest.approx(0.0, abs=1e-10)
+
+    def test_bell_pair_one_bit(self, sim):
+        sv = sim.run(Circuit(2).h(0).cx(0, 1))
+        assert entanglement_entropy(sv, 1) == pytest.approx(1.0, abs=1e-10)
+
+    def test_ghz_one_bit_any_cut(self, sim):
+        sv = sim.run(ghz(8))
+        for cut in (1, 4, 7):
+            assert entanglement_entropy(sv, cut) == pytest.approx(1.0, abs=1e-10)
+
+    def test_random_state_near_page(self):
+        sv = StateVector.random_state(10, seed=1)
+        s = entanglement_entropy(sv, 5)
+        # Page value for half-cut of 10 qubits ~ 5 - 2^5/(2*2^5*ln2) ~ 4.3+
+        assert 3.9 < s <= 5.0
+
+    def test_entropy_bounded_by_max(self, sim):
+        sv = sim.run(supremacy_brickwork(8, depth=6))
+        for cut in range(1, 8):
+            assert entanglement_entropy(sv, cut) <= max_entropy(cut, 8) + 1e-9
+
+    def test_cut_validation(self):
+        sv = StateVector(3)
+        with pytest.raises(ValueError):
+            entanglement_entropy(sv, 0)
+        with pytest.raises(ValueError):
+            entanglement_entropy(sv, 3)
+
+    def test_accepts_raw_arrays(self):
+        v = np.zeros(4, dtype=complex)
+        v[0] = v[3] = 1 / np.sqrt(2)
+        assert entanglement_entropy(v, 1) == pytest.approx(1.0, abs=1e-10)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            entanglement_entropy(np.zeros(6, dtype=complex), 1)
+
+
+class TestReducedDensityMatrix:
+    def test_trace_one(self, sim):
+        sv = sim.run(supremacy_brickwork(6, depth=4))
+        rho = reduced_density_matrix(sv, [1, 4])
+        assert np.trace(rho).real == pytest.approx(1.0, abs=1e-10)
+        assert np.allclose(rho, rho.conj().T, atol=1e-12)
+
+    def test_basis_state_pure(self):
+        sv = StateVector.basis_state(4, 0b1010)
+        rho = reduced_density_matrix(sv, [1, 3])
+        # qubits 1 and 3 are both |1>: rho = |11><11| (index 3)
+        want = np.zeros((4, 4), dtype=complex)
+        want[3, 3] = 1.0
+        assert np.allclose(rho, want, atol=1e-12)
+
+    def test_bell_half_is_maximally_mixed(self, sim):
+        sv = sim.run(Circuit(2).h(0).cx(0, 1))
+        rho = reduced_density_matrix(sv, [0])
+        assert np.allclose(rho, np.eye(2) / 2, atol=1e-12)
+
+    def test_qubit_order_convention(self, sim):
+        # |q1 q0> = |01>: qubit0=1, qubit1=0.
+        sv = StateVector.basis_state(2, 0b01)
+        rho = reduced_density_matrix(sv, [0, 1])
+        assert rho[1, 1].real == pytest.approx(1.0)
+        rho_swapped = reduced_density_matrix(sv, [1, 0])
+        assert rho_swapped[2, 2].real == pytest.approx(1.0)
+
+    def test_entropy_matches_svd_route(self, sim):
+        sv = sim.run(supremacy_brickwork(8, depth=5))
+        rho = reduced_density_matrix(sv, [0, 1, 2])
+        assert von_neumann_entropy(rho) == pytest.approx(
+            entanglement_entropy(sv, 3), abs=1e-8
+        )
+
+    def test_validation(self):
+        sv = StateVector(3)
+        with pytest.raises(ValueError):
+            reduced_density_matrix(sv, [0, 0])
+        with pytest.raises(ValueError):
+            reduced_density_matrix(sv, [5])
+
+
+class TestEntropyProfile:
+    def test_profile_length(self, sim):
+        sv = sim.run(ghz(6))
+        assert len(entropy_profile(sv)) == 5
+
+    def test_ghz_flat_profile(self, sim):
+        sv = sim.run(ghz(6))
+        assert np.allclose(entropy_profile(sv), 1.0, atol=1e-10)
+
+    def test_compressibility_correlation(self, sim):
+        """The A8 claim at unit-test scale: entropy anticorrelates with ratio."""
+        from repro.compression import get_compressor
+
+        codec = get_compressor("szlike", error_bound=1e-6)
+        low = sim.run(ghz(10)).data
+        high = sim.run(supremacy_brickwork(10, depth=8)).data
+        s_low = entanglement_entropy(low, 5)
+        s_high = entanglement_entropy(high, 5)
+        r_low = low.nbytes / len(codec.compress(low))
+        r_high = high.nbytes / len(codec.compress(high))
+        assert s_low < s_high
+        assert r_low > r_high

@@ -1,0 +1,224 @@
+"""Unit tests for the amplitude-update kernels.
+
+Every kernel path is validated against the brute-force reference: expand the
+gate to a full 2^n x 2^n unitary with explicit kron/permutation and matmul.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.circuits import GATE_SET, gate_matrix, make_diagonal_gate, make_gate
+from repro.statevector.kernels import (
+    apply_1q,
+    apply_circuit_gate,
+    apply_diagonal,
+    apply_gate,
+    apply_gate_list,
+    apply_matrix_generic,
+    apply_stored_diagonal,
+    fuse_1q_matrices,
+    num_qubits_of,
+)
+
+
+def full_unitary(matrix: np.ndarray, qubits, n: int) -> np.ndarray:
+    """Reference expansion of a k-qubit gate to n qubits (little-endian)."""
+    k = len(qubits)
+    dim = 1 << n
+    u = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(n) if q not in qubits]
+    for col in range(dim):
+        tin = 0
+        for j, q in enumerate(qubits):
+            tin |= ((col >> q) & 1) << j
+        base = 0
+        for q in rest:
+            base |= ((col >> q) & 1) << q
+        for tout in range(1 << k):
+            row = base
+            for j, q in enumerate(qubits):
+                row |= ((tout >> j) & 1) << q
+            u[row, col] = matrix[tout, tin]
+    return u
+
+
+def rand_state(n, seed=0):
+    g = np.random.default_rng(seed)
+    v = g.standard_normal(1 << n) + 1j * g.standard_normal(1 << n)
+    return v / np.linalg.norm(v)
+
+
+class TestNumQubitsOf:
+    def test_power_of_two(self):
+        assert num_qubits_of(np.zeros(8, dtype=complex)) == 3
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            num_qubits_of(np.zeros(6, dtype=complex))
+
+
+class TestApply1q:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "s", "t", "sx"])
+    @pytest.mark.parametrize("qubit", [0, 1, 3])
+    def test_named_gates_match_reference(self, name, qubit):
+        n = 4
+        m = gate_matrix(name)
+        v = rand_state(n, seed=qubit)
+        want = full_unitary(m, (qubit,), n) @ v
+        got = v.copy()
+        apply_1q(got, m, qubit)
+        assert np.allclose(got, want, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_unitaries(self, seed):
+        n = 5
+        u = unitary_group.rvs(2, random_state=np.random.default_rng(seed))
+        q = seed % n
+        v = rand_state(n, seed=seed)
+        want = full_unitary(u, (q,), n) @ v
+        got = v.copy()
+        apply_1q(got, u, q)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_diagonal_fast_path(self):
+        n = 3
+        m = gate_matrix("rz", (0.7,))
+        v = rand_state(n, 1)
+        want = full_unitary(m, (1,), n) @ v
+        got = v.copy()
+        apply_1q(got, m, 1)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_x_fast_path_swaps(self):
+        v = np.array([1, 2, 3, 4], dtype=complex)
+        apply_1q(v, gate_matrix("x"), 0)
+        assert np.allclose(v, [2, 1, 4, 3])
+
+
+class TestApplyDiagonal:
+    def test_cz_diagonal(self):
+        n = 3
+        d = np.diag(gate_matrix("cz"))
+        v = rand_state(n, 2)
+        want = full_unitary(gate_matrix("cz"), (0, 2), n) @ v
+        got = v.copy()
+        apply_diagonal(got, d, (0, 2))
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_stored_diagonal_wide(self):
+        n = 5
+        rng = np.random.default_rng(3)
+        d = np.exp(1j * rng.uniform(0, 2 * np.pi, 1 << n))
+        v = rand_state(n, 3)
+        want = v * d  # full-register diagonal, qubits in order
+        got = v.copy()
+        apply_stored_diagonal(got, d, tuple(range(n)))
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_stored_diagonal_subset_scrambled_order(self):
+        n = 4
+        rng = np.random.default_rng(4)
+        d = np.exp(1j * rng.uniform(0, 2 * np.pi, 16))
+        qubits = (3, 0, 2, 1)  # scrambled full set exercises the gather
+        v = rand_state(n, 4)
+        want = full_unitary(np.diag(d), qubits, n) @ v
+        got = v.copy()
+        apply_stored_diagonal(got, d, qubits)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_stored_diagonal_partial_qubits(self):
+        n = 5
+        rng = np.random.default_rng(5)
+        d = np.exp(1j * rng.uniform(0, 2 * np.pi, 16))
+        qubits = (4, 1, 3, 0)
+        v = rand_state(n, 5)
+        want = full_unitary(np.diag(d), qubits, n) @ v
+        got = v.copy()
+        apply_stored_diagonal(got, d, qubits)
+        assert np.allclose(got, want, atol=1e-12)
+
+
+class TestGenericPath:
+    @pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 3), (3, 1), (2, 0)])
+    def test_random_2q(self, qubits):
+        n = 4
+        u = unitary_group.rvs(4, random_state=np.random.default_rng(sum(qubits)))
+        v = rand_state(n, seed=7)
+        want = full_unitary(u, qubits, n) @ v
+        got = v.copy()
+        apply_matrix_generic(got, u, qubits)
+        assert np.allclose(got, want, atol=1e-12)
+
+    @pytest.mark.parametrize("qubits", [(0, 1, 2), (2, 0, 3), (3, 1, 0)])
+    def test_random_3q(self, qubits):
+        n = 4
+        u = unitary_group.rvs(8, random_state=np.random.default_rng(11))
+        v = rand_state(n, seed=8)
+        want = full_unitary(u, qubits, n) @ v
+        got = v.copy()
+        apply_matrix_generic(got, u, qubits)
+        assert np.allclose(got, want, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["cx", "cz", "swap", "iswap", "ccx", "cswap"])
+    def test_named_multiqubit_gates(self, name):
+        spec = GATE_SET[name]
+        n = 5
+        qubits = tuple(range(spec.num_qubits, 0, -1))  # e.g. (2,1) or (3,2,1)
+        m = gate_matrix(name)
+        v = rand_state(n, seed=9)
+        want = full_unitary(m, qubits, n) @ v
+        got = v.copy()
+        apply_gate(got, m, qubits)
+        assert np.allclose(got, want, atol=1e-12)
+
+
+class TestDispatch:
+    def test_apply_gate_size_check(self):
+        with pytest.raises(ValueError):
+            apply_gate(np.zeros(8, dtype=complex), gate_matrix("h"), (0,), num_qubits=4)
+
+    def test_apply_gate_list(self):
+        v = rand_state(3, 10)
+        gates = [(gate_matrix("h"), (0,)), (gate_matrix("cx"), (0, 1))]
+        want = v.copy()
+        for m, q in gates:
+            apply_gate(want, m, q)
+        got = v.copy()
+        apply_gate_list(got, gates)
+        assert np.allclose(got, want)
+
+    def test_apply_circuit_gate_dispatches_diag(self):
+        g = make_diagonal_gate((0, 1), np.array([1, -1, 1, -1], dtype=complex))
+        v = rand_state(2, 11)
+        want = full_unitary(g.matrix, (0, 1), 2) @ v
+        got = v.copy()
+        apply_circuit_gate(got, g)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_apply_circuit_gate_dense(self):
+        g = make_gate("h", (1,))
+        v = rand_state(2, 12)
+        want = full_unitary(g.matrix, (1,), 2) @ v
+        got = v.copy()
+        apply_circuit_gate(got, g)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_norm_preserved_over_many_gates(self):
+        v = rand_state(6, 13)
+        rng = np.random.default_rng(14)
+        for _ in range(50):
+            q = tuple(rng.choice(6, size=2, replace=False))
+            u = unitary_group.rvs(4, random_state=rng)
+            apply_gate(v, u, (int(q[0]), int(q[1])))
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-10)
+
+
+class TestFusion:
+    def test_fuse_1q_matrices_order(self):
+        h, s = gate_matrix("h"), gate_matrix("s")
+        fused = fuse_1q_matrices([h, s])  # h first, then s
+        assert np.allclose(fused, s @ h)
+
+    def test_fuse_empty_is_identity(self):
+        assert np.allclose(fuse_1q_matrices([]), np.eye(2))

@@ -1,0 +1,104 @@
+"""Unit tests for measurement: sampling, collapse, expectations."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz
+from repro.statevector import (
+    DenseSimulator,
+    StateVector,
+    expectation_z,
+    measure_qubit,
+    sample_counts,
+    sample_outcomes,
+)
+
+
+class TestSampleOutcomes:
+    def test_deterministic_state(self):
+        sv = StateVector.basis_state(3, 5)
+        outs = sample_outcomes(sv, 100, np.random.default_rng(0))
+        assert np.all(outs == 5)
+
+    def test_shot_count(self):
+        sv = StateVector.random_state(4, seed=1)
+        assert sample_outcomes(sv, 57, np.random.default_rng(1)).shape == (57,)
+
+    def test_zero_shots(self):
+        sv = StateVector(2)
+        assert sample_outcomes(sv, 0).shape == (0,)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError):
+            sample_outcomes(StateVector(2), -1)
+
+    def test_distribution_matches_probabilities(self):
+        sv = StateVector(2, np.sqrt(np.array([0.5, 0.3, 0.15, 0.05], dtype=complex)))
+        outs = sample_outcomes(sv, 40000, np.random.default_rng(2))
+        freq = np.bincount(outs, minlength=4) / 40000
+        assert np.allclose(freq, [0.5, 0.3, 0.15, 0.05], atol=0.02)
+
+    def test_unnormalized_state_renormalized(self):
+        sv = StateVector(1, np.array([2.0, 0.0], dtype=complex))
+        outs = sample_outcomes(sv, 10, np.random.default_rng(3))
+        assert np.all(outs == 0)
+
+
+class TestSampleCounts:
+    def test_ghz_counts_only_extremes(self, dense):
+        sv = dense.run(ghz(4))
+        counts = sample_counts(sv, 1000, rng=np.random.default_rng(4))
+        assert set(counts) <= {"0000", "1111"}
+        assert sum(counts.values()) == 1000
+
+    def test_qubit_subset(self, dense):
+        sv = dense.run(ghz(3))
+        counts = sample_counts(sv, 500, qubits=[0, 2], rng=np.random.default_rng(5))
+        assert set(counts) <= {"00", "11"}
+
+    def test_subset_ordering(self, dense):
+        c = Circuit(2).x(0)  # q0=1, q1=0
+        sv = dense.run(c)
+        counts = sample_counts(sv, 10, qubits=[0], rng=np.random.default_rng(6))
+        assert counts == {"1": 10}
+        counts = sample_counts(sv, 10, qubits=[1], rng=np.random.default_rng(7))
+        assert counts == {"0": 10}
+
+
+class TestMeasureQubit:
+    def test_deterministic_collapse(self):
+        sv = StateVector.basis_state(2, 2)  # q1=1
+        assert measure_qubit(sv, 1, np.random.default_rng(8)) == 1
+        assert measure_qubit(sv, 0, np.random.default_rng(8)) == 0
+
+    def test_collapse_renormalizes(self, dense):
+        sv = dense.run(ghz(3))
+        bit = measure_qubit(sv, 0, np.random.default_rng(9))
+        assert sv.norm() == pytest.approx(1.0, abs=1e-12)
+        # GHZ collapse: all qubits agree afterwards
+        expect = (1 << 3) - 1 if bit else 0
+        assert sv.probability_of(expect) == pytest.approx(1.0, abs=1e-12)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            measure_qubit(StateVector(2), 5)
+
+    def test_statistics(self, dense):
+        ones = 0
+        for seed in range(200):
+            sv = dense.run(Circuit(1).h(0))
+            ones += measure_qubit(sv, 0, np.random.default_rng(seed))
+        assert 60 <= ones <= 140  # ~Binomial(200, .5)
+
+
+class TestExpectationZ:
+    def test_basis_states(self):
+        assert expectation_z(StateVector.basis_state(2, 0), 0) == pytest.approx(1.0)
+        assert expectation_z(StateVector.basis_state(2, 1), 0) == pytest.approx(-1.0)
+
+    def test_matches_pauli_expectation(self):
+        sv = StateVector.random_state(4, seed=10)
+        for q in range(4):
+            assert expectation_z(sv, q) == pytest.approx(
+                sv.expectation_pauli("Z", [q]), abs=1e-12
+            )

@@ -1,0 +1,88 @@
+"""Unit tests for the dense baseline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz, grover, qft, random_circuit
+from repro.statevector import DenseSimulator, StateVector
+
+
+class TestRun:
+    def test_matches_unitary(self):
+        c = random_circuit(4, 30, seed=1)
+        sim = DenseSimulator()
+        sv = sim.run(c)
+        u = c.to_unitary()
+        assert np.allclose(sv.data, u[:, 0], atol=1e-10)
+
+    def test_initial_state(self):
+        c = Circuit(2).cx(0, 1)
+        init = StateVector.basis_state(2, 1)  # q0 = 1
+        sv = DenseSimulator().run(c, initial_state=init)
+        assert sv.probability_of(3) == pytest.approx(1.0)
+
+    def test_initial_state_not_mutated(self):
+        c = Circuit(1).x(0)
+        init = StateVector(1)
+        DenseSimulator().run(c, initial_state=init)
+        assert init.data[0] == 1.0
+
+    def test_initial_state_size_checked(self):
+        with pytest.raises(ValueError):
+            DenseSimulator().run(Circuit(2).h(0), initial_state=StateVector(3))
+
+    def test_diag_gates_supported(self):
+        c = Circuit(2).h(0).h(1)
+        c.diagonal(np.array([1, -1, 1, -1], dtype=complex), 0, 1)
+        sv = DenseSimulator().run(c)
+        # Z on qubit 0 applied to |++> -> |-+>
+        assert sv.data[0] == pytest.approx(0.5)
+        assert sv.data[1] == pytest.approx(-0.5)
+
+
+class TestFusion:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fused_equals_unfused(self, seed):
+        c = random_circuit(5, 60, seed=seed)
+        plain = DenseSimulator(fuse_single_qubit_gates=False).run(c)
+        fused = DenseSimulator(fuse_single_qubit_gates=True).run(c)
+        assert np.allclose(plain.data, fused.data, atol=1e-10)
+
+    def test_fusion_reduces_group_count(self):
+        c = Circuit(1).h(0).t(0).s(0).h(0)
+        sim = DenseSimulator(fuse_single_qubit_gates=True)
+        sim.run(c)
+        assert sim.last_stats.num_fused_groups == 1
+
+    def test_fusion_respects_diag_barrier(self):
+        c = Circuit(1).h(0)
+        c.diagonal(np.array([1, -1], dtype=complex), 0)
+        c.h(0)
+        sim = DenseSimulator(fuse_single_qubit_gates=True)
+        sv = sim.run(c)
+        # H Z H = X -> |1>
+        assert sv.probability_of(1) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        sim = DenseSimulator()
+        sim.run(ghz(5))
+        st = sim.last_stats
+        assert st.num_qubits == 5
+        assert st.num_gates == 5
+        assert st.wall_time_s > 0
+        assert st.peak_bytes == (1 << 5) * 16
+        assert "h" in st.per_gate_seconds
+        assert "cx" in st.per_gate_seconds
+
+
+class TestConvenience:
+    def test_sample(self):
+        counts = DenseSimulator().sample(ghz(3), shots=200, seed=3)
+        assert set(counts) <= {"000", "111"}
+        assert sum(counts.values()) == 200
+
+    def test_expectation(self):
+        val = DenseSimulator().expectation(ghz(2), "ZZ", [0, 1])
+        assert val == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,202 @@
+"""Unit tests for the StateVector wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz, qft, random_circuit
+from repro.statevector import DenseSimulator, StateVector
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        sv = StateVector(3)
+        assert sv.data[0] == 1.0
+        assert np.count_nonzero(sv.data) == 1
+        assert sv.dim == 8
+
+    def test_basis_state(self):
+        sv = StateVector.basis_state(3, 5)
+        assert sv.data[5] == 1.0
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_from_bitstring(self):
+        sv = StateVector.from_bitstring("10")  # q1=1, q0=0 -> index 2
+        assert sv.data[2] == 1.0
+        assert sv.num_qubits == 2
+
+    def test_random_state_normalized(self):
+        sv = StateVector.random_state(6, seed=1)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-12)
+
+    def test_random_state_seeded(self):
+        a = StateVector.random_state(4, seed=2)
+        b = StateVector.random_state(4, seed=2)
+        assert np.allclose(a.data, b.data)
+
+    def test_data_shape_checked(self):
+        with pytest.raises(ValueError):
+            StateVector(2, np.zeros(3, dtype=complex))
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ValueError):
+            StateVector(0)
+
+    def test_copy_is_deep(self):
+        a = StateVector(2)
+        b = a.copy()
+        b.data[0] = 0.5
+        assert a.data[0] == 1.0
+
+    def test_nbytes(self):
+        assert StateVector(4).nbytes == 16 * 16
+
+
+class TestNorms:
+    def test_normalize(self):
+        sv = StateVector(2, np.array([2, 0, 0, 0], dtype=complex))
+        sv.normalize()
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        sv = StateVector(1, np.zeros(2, dtype=complex))
+        with pytest.raises(ValueError):
+            sv.normalize()
+
+    def test_probabilities_sum(self):
+        sv = StateVector.random_state(5, seed=3)
+        assert sv.probabilities().sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_probability_of(self):
+        sv = StateVector(2, np.array([0.6, 0.8, 0, 0], dtype=complex))
+        assert sv.probability_of(0) == pytest.approx(0.36)
+        assert sv.probability_of(1) == pytest.approx(0.64)
+
+
+class TestMarginals:
+    def test_single_qubit_marginal(self, dense):
+        sv = dense.run(ghz(3))
+        m = sv.marginal_probabilities([0])
+        assert np.allclose(m, [0.5, 0.5])
+
+    def test_pair_marginal_ghz(self, dense):
+        sv = dense.run(ghz(3))
+        m = sv.marginal_probabilities([0, 2])
+        # GHZ: qubits perfectly correlated -> only 00 and 11.
+        assert m[0] == pytest.approx(0.5)
+        assert m[3] == pytest.approx(0.5)
+        assert m[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_marginal_order_matters(self, dense):
+        c = random_circuit(4, 25, seed=5)
+        sv = dense.run(c)
+        m01 = sv.marginal_probabilities([0, 1])
+        m10 = sv.marginal_probabilities([1, 0])
+        # outcome (a on q0, b on q1): index a + 2b in m01, b + 2a in m10
+        assert m01[1] == pytest.approx(m10[2], abs=1e-12)
+        assert m01[2] == pytest.approx(m10[1], abs=1e-12)
+
+    def test_full_marginal_equals_probabilities(self, dense):
+        sv = dense.run(random_circuit(3, 15, seed=6))
+        m = sv.marginal_probabilities([0, 1, 2])
+        assert np.allclose(m, sv.probabilities(), atol=1e-12)
+
+
+class TestFidelity:
+    def test_self_fidelity(self):
+        sv = StateVector.random_state(4, seed=4)
+        assert sv.fidelity(sv) == pytest.approx(1.0, abs=1e-12)
+
+    def test_orthogonal_states(self):
+        a = StateVector.basis_state(2, 0)
+        b = StateVector.basis_state(2, 3)
+        assert a.fidelity(b) == pytest.approx(0.0, abs=1e-15)
+
+    def test_fidelity_symmetry(self):
+        a = StateVector.random_state(4, seed=5)
+        b = StateVector.random_state(4, seed=6)
+        assert a.fidelity(b) == pytest.approx(b.fidelity(a), abs=1e-12)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            StateVector(2).fidelity(StateVector(3))
+
+    def test_inner(self):
+        a = StateVector.basis_state(1, 0)
+        b = StateVector(1, np.array([1, 1], dtype=complex) / math.sqrt(2))
+        assert a.inner(b) == pytest.approx(1 / math.sqrt(2))
+
+    def test_trace_distance_bound(self):
+        a = StateVector.basis_state(2, 0)
+        assert a.trace_distance_bound(a) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestPauliExpectation:
+    def pauli_matrix(self, ch):
+        return {
+            "I": np.eye(2),
+            "X": np.array([[0, 1], [1, 0]]),
+            "Y": np.array([[0, -1j], [1j, 0]]),
+            "Z": np.diag([1, -1]),
+        }[ch].astype(complex)
+
+    def reference(self, sv, pauli, qubits):
+        n = sv.num_qubits
+        op = np.eye(1, dtype=complex)
+        # build full operator: kron over qubits n-1..0
+        mats = {q: self.pauli_matrix(ch) for ch, q in zip(pauli, qubits)}
+        for q in reversed(range(n)):
+            op = np.kron(op, mats.get(q, np.eye(2, dtype=complex)))
+        return float(np.real(np.vdot(sv.data, op @ sv.data)))
+
+    @pytest.mark.parametrize("pauli,qubits", [
+        ("Z", [0]), ("Z", [2]), ("X", [1]), ("Y", [0]),
+        ("ZZ", [0, 1]), ("XX", [0, 2]), ("YY", [1, 2]),
+        ("XY", [0, 1]), ("ZX", [2, 0]), ("XYZ", [0, 1, 2]),
+        ("IZ", [0, 1]), ("YZX", [2, 0, 1]),
+    ])
+    def test_matches_dense_operator(self, pauli, qubits):
+        sv = StateVector.random_state(3, seed=7)
+        got = sv.expectation_pauli(pauli, qubits)
+        want = self.reference(sv, pauli, qubits)
+        assert got == pytest.approx(want, abs=1e-10)
+
+    def test_z_on_plus_state_is_zero(self, dense):
+        from repro.circuits import Circuit
+
+        sv = dense.run(Circuit(1).h(0))
+        assert sv.expectation_pauli("Z", [0]) == pytest.approx(0.0, abs=1e-12)
+        assert sv.expectation_pauli("X", [0]) == pytest.approx(1.0, abs=1e-12)
+
+    def test_defaults_to_low_qubits(self):
+        sv = StateVector.random_state(3, seed=8)
+        assert sv.expectation_pauli("ZZ") == pytest.approx(
+            sv.expectation_pauli("ZZ", [0, 1]), abs=1e-12
+        )
+
+    def test_invalid_letter(self):
+        with pytest.raises(ValueError):
+            StateVector(2).expectation_pauli("Q", [0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StateVector(2).expectation_pauli("XX", [0])
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValueError):
+            StateVector(2).expectation_pauli("X", [5])
+
+
+class TestFormatting:
+    def test_to_dict(self, dense):
+        sv = dense.run(ghz(2))
+        d = sv.to_dict()
+        assert set(d) == {"00", "11"}
+
+    def test_str_contains_kets(self, dense):
+        s = str(dense.run(ghz(2)))
+        assert "|00>" in s and "|11>" in s
+
+    def test_repr(self):
+        assert "n=3" in repr(StateVector(3))

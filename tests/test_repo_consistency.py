@@ -1,0 +1,106 @@
+"""Repo-level consistency checks: docs, benchmarks and registries agree.
+
+These tests keep the reproduction package honest as it grows: every bench
+module must be wired into the one-command runner and referenced from
+DESIGN.md's experiment index, every example must at least import, and the
+public package surface must be importable with a sane ``__all__``.
+"""
+
+import ast
+import importlib
+import pathlib
+import re
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+
+class TestBenchmarkWiring:
+    def bench_modules(self):
+        return sorted(
+            p.stem for p in BENCH_DIR.glob("bench_*.py")
+        )
+
+    def test_every_bench_in_run_all(self):
+        import run_all
+
+        registered = {mod for mod, _ in run_all.EXPERIMENTS.values()}
+        missing = set(self.bench_modules()) - registered
+        assert not missing, f"bench modules not in run_all: {missing}"
+
+    def test_run_all_entries_exist(self):
+        import run_all
+
+        files = set(self.bench_modules())
+        ghosts = {m for m, _ in run_all.EXPERIMENTS.values()} - files
+        assert not ghosts, f"run_all references missing modules: {ghosts}"
+
+    def test_every_bench_referenced_in_design(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for mod in self.bench_modules():
+            assert mod in design, f"{mod} missing from DESIGN.md"
+
+    def test_every_bench_has_pytest_targets(self):
+        for mod in self.bench_modules():
+            src = (BENCH_DIR / f"{mod}.py").read_text()
+            tree = ast.parse(src)
+            names = [n.name for n in ast.walk(tree)
+                     if isinstance(n, ast.FunctionDef)]
+            assert any(n.startswith("test_") for n in names), mod
+
+    def test_every_bench_has_main(self):
+        for mod in self.bench_modules():
+            src = (BENCH_DIR / f"{mod}.py").read_text()
+            assert '__main__' in src, f"{mod} lacks a __main__ runner"
+
+
+class TestExamples:
+    def test_examples_listed_in_readme(self):
+        readme = (REPO / "README.md").read_text()
+        for p in (REPO / "examples").glob("*.py"):
+            assert p.name in readme, f"{p.name} missing from README examples"
+
+    def test_examples_compile(self):
+        for p in (REPO / "examples").glob("*.py"):
+            compile(p.read_text(), str(p), "exec")
+
+
+class TestPublicSurface:
+    PACKAGES = [
+        "repro",
+        "repro.circuits",
+        "repro.statevector",
+        "repro.compression",
+        "repro.memory",
+        "repro.device",
+        "repro.pipeline",
+        "repro.core",
+        "repro.observables",
+        "repro.analysis",
+        "repro.variational",
+        "repro.interop",
+        "repro.cli",
+    ]
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", [p for p in PACKAGES if "." in p])
+    def test_all_entries_resolve(self, name):
+        mod = importlib.import_module(name)
+        for entry in getattr(mod, "__all__", []):
+            assert hasattr(mod, entry), f"{name}.__all__ lists missing {entry}"
+
+    def test_experiment_ids_documented(self):
+        import run_all
+
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in run_all.EXPERIMENTS:
+            assert re.search(rf"\b{exp_id}\b", experiments), (
+                f"experiment {exp_id} missing from EXPERIMENTS.md"
+            )
