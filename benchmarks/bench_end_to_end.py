@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import print_banner, tight_config
+from common import bench_telemetry, print_banner, tight_config
 from repro.analysis import Table, compare_states, format_bytes, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -30,7 +30,8 @@ def run_pair(workload: str, n: int = N, chunk: int = 8, codec="szlike",
     cfg = tight_config(chunk_qubits=chunk,
                        compressor=codec,
                        compressor_options={"error_bound": eb} if codec == "szlike" else {})
-    res = MemQSim(cfg).run(circ)
+    with bench_telemetry(f"a3_{workload}_n{n}") as tel:
+        res = MemQSim(cfg, telemetry=tel).run(circ)
     fid = compare_states(ref.data, res.statevector()).fidelity if n <= 16 else None
     return res, dense.last_stats, fid
 

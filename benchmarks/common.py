@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import sys
+from contextlib import contextmanager
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -22,8 +23,36 @@ import numpy as np
 
 from repro.core import MemQSimConfig
 from repro.device import DeviceSpec, HostSpec
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: set REPRO_TRACE_DIR=/some/dir to dump a Chrome trace + metrics snapshot
+#: per benchmark that opts in via :func:`bench_telemetry`
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR", "")
+
+
+@contextmanager
+def bench_telemetry(name: str):
+    """Opt-in per-benchmark telemetry capture.
+
+    Yields a :class:`~repro.telemetry.Telemetry` to pass into ``MemQSim``.
+    Disabled (and free) unless ``REPRO_TRACE_DIR`` is set, in which case
+    ``<dir>/<name>.trace.json`` and ``<dir>/<name>.metrics.json`` are
+    written when the block exits.
+    """
+    if not TRACE_DIR:
+        yield NULL_TELEMETRY
+        return
+    os.makedirs(TRACE_DIR, exist_ok=True)
+    tel = Telemetry()
+    try:
+        yield tel
+    finally:
+        tel.tracer.write_chrome_trace(
+            os.path.join(TRACE_DIR, f"{name}.trace.json"))
+        tel.metrics.write_json(
+            os.path.join(TRACE_DIR, f"{name}.metrics.json"))
 
 
 def state_payload(num_qubits: int, seed: int = 1) -> np.ndarray:

@@ -9,18 +9,24 @@ Commands:
 * ``compressors`` — list registered codecs, optionally evaluating them on
   a workload's state vector.
 * ``plan`` — show the offline stage plan for a workload at a given layout.
+* ``trace`` — run a workload with full telemetry and export the pipeline
+  spans as a Chrome-trace / Perfetto JSON file plus a metrics snapshot.
 
 Examples::
 
     python -m repro run qft -n 14 --compressor szlike --error-bound 1e-6
+    python -m repro run qft -n 10 --trace-out qft.trace.json --json
     python -m repro run --qasm circuit.qasm --shots 1000
     python -m repro compressors --evaluate qft -n 12
     python -m repro plan grover -n 12 --chunk-qubits 6
+    python -m repro trace qft -n 12 --trace-out qft.trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -29,6 +35,7 @@ from .circuits import WORKLOADS, from_qasm, get_workload
 from .compression import available_compressors, evaluate_compressor, get_compressor
 from .core import MemQSim, MemQSimConfig
 from .device import DeviceSpec
+from .telemetry import NULL_TELEMETRY, Telemetry, configure_logging
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--checkpoint", help="resume from this checkpoint")
     runp.add_argument("--compare-dense", action="store_true",
                       help="also run the dense baseline and report fidelity")
+    _add_telemetry_args(runp)
+    runp.add_argument("--json", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="emit the full result as JSON (to FILE, or to "
+                           "stdout instead of the report when no FILE given)")
 
     sub.add_parser("workloads", help="list workload generators")
 
@@ -81,7 +93,38 @@ def build_parser() -> argparse.ArgumentParser:
     planp.add_argument("-n", "--qubits", type=int, default=12)
     planp.add_argument("--chunk-qubits", type=int, default=6)
     planp.add_argument("--max-group", type=int, default=2)
+
+    tracep = sub.add_parser(
+        "trace", help="run a workload with full telemetry and export a trace")
+    tracep.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    tracep.add_argument("-n", "--qubits", type=int, default=12)
+    tracep.add_argument("--compressor", default="szlike")
+    tracep.add_argument("--error-bound", type=float, default=1e-6)
+    tracep.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    tracep.add_argument("--transfer", default="sync",
+                        choices=["sync", "async", "buffer"])
+    tracep.add_argument("--cache-chunks", type=int, default=0)
+    tracep.add_argument("--offload", type=float, default=0.0)
+    tracep.add_argument("--device-mb", type=float, default=256.0)
+    _add_telemetry_args(tracep)
+    tracep.add_argument("--top", type=int, default=10,
+                        help="rows in the printed span summary")
     return p
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write the run's spans as Chrome-trace JSON "
+                        "(open at ui.perfetto.dev)")
+    p.add_argument("--jsonl-out", metavar="FILE",
+                   help="write the run's spans as JSONL (one span per line)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the metrics snapshot as JSON")
+    p.add_argument("--log-level", default=None,
+                   choices=["debug", "info", "warning", "error", "critical"],
+                   type=str.lower, metavar="LEVEL",
+                   help="enable repro.* logging at this level "
+                        "(debug/info/warning/error/critical)")
 
 
 def _load_circuit(args):
@@ -93,8 +136,39 @@ def _load_circuit(args):
     return get_workload(args.workload, args.qubits)
 
 
+def _telemetry_from_args(args, force: bool = False) -> Telemetry:
+    """Build the run's telemetry: enabled iff any export was requested."""
+    # Fail on unwritable output locations *before* the simulation runs,
+    # not after minutes of work.
+    for path in (args.trace_out, args.jsonl_out, args.metrics_out,
+                 getattr(args, "json", None)):
+        if path and path != "-":
+            parent = os.path.dirname(os.path.abspath(path))
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: output directory does not exist: {parent}")
+    if args.log_level:
+        configure_logging(args.log_level)
+    want = force or bool(args.trace_out or args.jsonl_out or args.metrics_out)
+    return Telemetry() if want else NULL_TELEMETRY
+
+
+def _export_telemetry(tel: Telemetry, args) -> None:
+    if args.trace_out:
+        nb = tel.tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written: {args.trace_out} "
+              f"({len(tel.tracer)} spans, {format_bytes(nb)})")
+    if args.jsonl_out:
+        n = tel.tracer.write_jsonl(args.jsonl_out)
+        print(f"span JSONL written: {args.jsonl_out} ({n} lines)")
+    if args.metrics_out:
+        nb = tel.metrics.write_json(args.metrics_out)
+        print(f"metrics written: {args.metrics_out} ({format_bytes(nb)})")
+
+
 def _cmd_run(args) -> int:
     circuit = _load_circuit(args)
+    tel = _telemetry_from_args(args)
     opts = {}
     if args.compressor in ("szlike", "adaptive"):
         opts["error_bound"] = args.error_bound
@@ -117,25 +191,54 @@ def _cmd_run(args) -> int:
         print("autotune probe:")
         print(rep.table())
         cfg = cfg.with_updates(chunk_qubits=rep.best_chunk_qubits)
-    res = MemQSim(cfg).run(circuit, checkpoint=args.checkpoint)
-    print(res.report())
+    res = MemQSim(cfg, telemetry=tel).run(circuit, checkpoint=args.checkpoint)
+    json_stdout = args.json == "-"
+    payload = res.to_dict() if args.json else None
+
+    counts = fidelity = None
     if args.shots:
         counts = res.sample(args.shots, seed=args.seed)
-        top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
-        print("\ntop outcomes:")
-        for bits, cnt in top:
-            print(f"  |{bits}>  {cnt}")
-    if args.compare_dense:
-        if circuit.num_qubits > 20:
-            print("\n(dense comparison skipped: too many qubits)")
-        else:
-            from .statevector import DenseSimulator
+    if args.compare_dense and circuit.num_qubits <= 20:
+        from .statevector import DenseSimulator
 
-            ref = DenseSimulator().run(circuit)
-            print(f"\nfidelity vs dense: {res.fidelity_vs(ref.data):.12f}")
+        ref = DenseSimulator().run(circuit)
+        fidelity = res.fidelity_vs(ref.data)
+    if payload is not None:
+        if counts is not None:
+            payload["counts"] = counts
+        if fidelity is not None:
+            payload["fidelity_vs_dense"] = fidelity
+
+    if not json_stdout:
+        print(res.report())
+        if counts is not None:
+            top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
+            print("\ntop outcomes:")
+            for bits, cnt in top:
+                print(f"  |{bits}>  {cnt}")
+        if args.compare_dense:
+            if fidelity is None:
+                print("\n(dense comparison skipped: too many qubits)")
+            else:
+                print(f"\nfidelity vs dense: {fidelity:.12f}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"result JSON written: {args.json}")
+        _export_telemetry(tel, args)
     if args.save_state:
         nb = res.save_state(args.save_state)
-        print(f"\ncheckpoint written: {args.save_state} ({format_bytes(nb)})")
+        if not json_stdout:
+            print(f"\ncheckpoint written: {args.save_state} "
+                  f"({format_bytes(nb)})")
+    if json_stdout:
+        # Exports still happen, but only the JSON document reaches stdout.
+        import contextlib
+        import io
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            _export_telemetry(tel, args)
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -189,6 +292,35 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run a workload with telemetry forced on and export the trace."""
+    if not args.trace_out and not args.jsonl_out:
+        args.trace_out = f"{args.workload}.trace.json"
+    tel = _telemetry_from_args(args, force=True)
+    opts = {}
+    if args.compressor in ("szlike", "adaptive"):
+        opts["error_bound"] = args.error_bound
+    cfg = MemQSimConfig(
+        chunk_qubits=args.chunk_qubits,
+        compressor=args.compressor,
+        compressor_options=opts,
+        transfer=args.transfer,
+        device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        cpu_offload_fraction=args.offload,
+        cache_chunks=args.cache_chunks,
+    )
+    circuit = get_workload(args.workload, args.qubits)
+    res = MemQSim(cfg, telemetry=tel).run(circuit)
+    print(res.report())
+    print("\nwhere the time went (per span name):")
+    print(tel.tracer.summary(top=args.top))
+    print()
+    _export_telemetry(tel, args)
+    if args.trace_out:
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -196,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workloads": _cmd_workloads,
         "compressors": _cmd_compressors,
         "plan": _cmd_plan,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

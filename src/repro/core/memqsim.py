@@ -41,26 +41,34 @@ from ..memory.layout import ChunkLayout
 from ..pipeline.planner import describe_plan, max_group_qubits_for, plan_stages
 from ..pipeline.scheduler import StageScheduler
 from ..statevector.statevector import StateVector
+from ..telemetry import NULL_TELEMETRY, Telemetry, get_logger
 from .backend import get_backend
 from .config import MemQSimConfig
 from .results import MemQSimResult
 
 __all__ = ["MemQSim"]
 
+log = get_logger(__name__)
+
 
 class MemQSim:
     """Memory-efficient modular state-vector simulator (the paper's system)."""
 
-    def __init__(self, config: Optional[MemQSimConfig] = None, **overrides):
+    def __init__(self, config: Optional[MemQSimConfig] = None,
+                 telemetry: Optional[Telemetry] = None, **overrides):
         """Create a simulator.
 
         Args:
             config: full configuration; defaults to :class:`MemQSimConfig`.
+            telemetry: a :class:`~repro.telemetry.Telemetry` object to
+                thread through every layer of the run (tracer spans per
+                pipeline hop, metrics, memory gauges); default disabled.
             **overrides: convenience field overrides applied on top, e.g.
                 ``MemQSim(compressor="zlib", chunk_qubits=8)``.
         """
         base = config if config is not None else MemQSimConfig()
         self.config = base.with_updates(**overrides) if overrides else base
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # -- public API ---------------------------------------------------------
 
@@ -86,6 +94,7 @@ class MemQSim:
                 the three initial-state options may be given.
         """
         cfg = self.config
+        tel = self.telemetry
         n = circuit.num_qubits
         t_wall = time.perf_counter()
         given = sum(
@@ -95,9 +104,10 @@ class MemQSim:
             raise ValueError(
                 "pass at most one of initial_state / checkpoint / initial_store"
             )
+        log.debug("run: n=%d gates=%d [%s]", n, len(circuit), cfg.summary())
 
         # ---- offline stage -------------------------------------------------
-        tracker = MemoryTracker()
+        tracker = MemoryTracker(telemetry=tel if tel.enabled else None)
         if initial_store is not None:
             # Unwrap a cache layer from a previous run's result if present
             # (flushing its dirty chunks into the underlying store first).
@@ -110,12 +120,17 @@ class MemQSim:
                     f"circuit has {n}"
                 )
             tracker = store.tracker
+            if tel.enabled:
+                tracker.attach_telemetry(tel)
+                store.telemetry = tel
             layout = store.layout
             c = layout.chunk_qubits
         elif checkpoint is not None:
             from ..memory.persist import load_store
 
             store = load_store(checkpoint, cfg.make_compressor(), tracker)
+            if tel.enabled:
+                store.telemetry = tel
             if store.layout.num_qubits != n:
                 raise ValueError(
                     f"checkpoint has {store.layout.num_qubits} qubits, "
@@ -140,6 +155,14 @@ class MemQSim:
             enable_permutation_stages=cfg.enable_permutation_stages,
         )
         plan = describe_plan(stages, layout)
+        if tel.enabled:
+            # The offline stage ends here: store initialized, plan fixed.
+            tel.tracer.record("offline", time.perf_counter() - t_wall,
+                              stages=plan.num_stages,
+                              group_passes=plan.group_passes,
+                              chunk_qubits=c)
+        log.debug("offline: %d stages, %d group passes, chunk_qubits=%d",
+                  plan.num_stages, plan.group_passes, c)
 
         # Host budget check: compressed store + staging must fit.
         group_qubits_used = plan.max_group_size
@@ -153,39 +176,44 @@ class MemQSim:
 
         # ---- online stage ----------------------------------------------------
         timeline = Timeline()
-        transfer = make_strategy(
-            cfg.transfer, max_elements=buffer_amps
-        ) if cfg.transfer == "buffer" else make_strategy(cfg.transfer)
+
+        def _strategy():
+            return make_strategy(
+                cfg.transfer, max_elements=buffer_amps, telemetry=tel
+            ) if cfg.transfer == "buffer" else make_strategy(
+                cfg.transfer, telemetry=tel)
+
+        transfer = _strategy()
         backend = get_backend(cfg.backend)
         if cfg.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         executors = []
         for _ in range(cfg.num_devices):
-            dev_transfer = transfer if len(executors) == 0 else (
-                make_strategy(cfg.transfer, max_elements=buffer_amps)
-                if cfg.transfer == "buffer" else make_strategy(cfg.transfer)
-            )
+            dev_transfer = transfer if len(executors) == 0 else _strategy()
             executors.append(DeviceExecutor(
                 cfg.device, transfer=dev_transfer, timeline=timeline,
-                tracker=tracker, backend=backend,
+                tracker=tracker, backend=backend, telemetry=tel,
             ))
         store_like = store
         if cfg.cache_chunks:
             from ..memory.cache import ChunkCache
 
             store_like = ChunkCache(
-                store, cfg.cache_chunks, cfg.cache_policy, tracker
+                store, cfg.cache_chunks, cfg.cache_policy, tracker,
+                telemetry=tel,
             )
-        pool = BufferPool(cfg.num_buffers, buffer_amps, tracker)
+        pool = BufferPool(cfg.num_buffers, buffer_amps, tracker, telemetry=tel)
         scheduler = StageScheduler(
             layout, store_like, executors, pool, timeline,
             cpu_offload_fraction=cfg.cpu_offload_fraction,
             fuse_gates=cfg.fuse_gates,
             serpentine=cfg.serpentine_groups,
+            telemetry=tel,
         )
-        scheduler.run(stages)
-        if store_like is not store:
-            store_like.flush()
+        with tel.span("online", stages=plan.num_stages):
+            scheduler.run(stages)
+            if store_like is not store:
+                store_like.flush()
         pool.close()
         for ex in executors:
             ex.reset()
@@ -197,6 +225,14 @@ class MemQSim:
             gpu_lanes=cfg.num_devices,
         )
         pipelined = model.makespan(timeline)
+        if tel.enabled:
+            tel.tracer.record("run", wall, n=n, gates=len(circuit))
+            m = tel.metrics
+            m.counter("run.count").inc()
+            m.gauge("run.wall.seconds").set(wall)
+            m.gauge("run.pipelined.seconds").set(pipelined)
+        log.info("run done: n=%d wall=%.3fs pipelined=%.3fs", n, wall,
+                 pipelined)
         return MemQSimResult(
             num_qubits=n,
             store=store_like if cfg.cache_chunks else store,
@@ -207,12 +243,15 @@ class MemQSim:
             wall_seconds=wall,
             pipelined_seconds=pipelined,
             config_summary=cfg.summary(),
+            telemetry=tel,
         )
 
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):
         cfg = self.config
+        tel = self.telemetry
         if cfg.store == "memory":
-            return CompressedChunkStore(layout, cfg.make_compressor(), tracker)
+            return CompressedChunkStore(layout, cfg.make_compressor(), tracker,
+                                        telemetry=tel)
         if cfg.store == "disk":
             import tempfile
 
@@ -224,7 +263,8 @@ class MemQSim:
                 import os
 
                 os.close(fd)
-            return DiskChunkStore(layout, cfg.make_compressor(), path, tracker)
+            return DiskChunkStore(layout, cfg.make_compressor(), path, tracker,
+                                  telemetry=tel)
         raise ValueError(f"unknown store kind {cfg.store!r}")
 
     def sample(self, circuit: Circuit, shots: int, seed: Optional[int] = None):

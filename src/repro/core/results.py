@@ -8,16 +8,18 @@ memory / plan telemetry every benchmark consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..device.timeline import Timeline
+from ..device.timeline import Stage, Timeline
 from ..memory.accounting import MemoryTracker
 from ..memory.chunkstore import CompressedChunkStore
 from ..pipeline.planner import PlanReport
 from ..pipeline.scheduler import SchedulerStats
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["MemQSimResult"]
 
@@ -35,6 +37,7 @@ class MemQSimResult:
     wall_seconds: float
     pipelined_seconds: float
     config_summary: str = ""
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -242,6 +245,70 @@ class MemQSimResult:
     def dense_bytes(self) -> int:
         return MemoryTracker.dense_bytes(self.num_qubits)
 
+    @property
+    def qubit_headroom(self) -> float:
+        """Extra qubits the same budget supports at the observed ratio."""
+        ratio = self.compression_ratio
+        if not math.isfinite(ratio) or ratio <= 0:
+            return float("inf") if ratio > 0 else 0.0
+        return math.log2(ratio)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The attached telemetry's metrics snapshot (empty if disabled)."""
+        return self.telemetry.snapshot()
+
+    def to_dict(self, include_metrics: bool = True) -> Dict[str, Any]:
+        """The full result as JSON-serializable plain data.
+
+        Non-finite floats (e.g. an infinite compression ratio on an
+        all-zero-delta store) become ``None`` so the payload is strict
+        JSON.
+        """
+        def _num(x: float) -> Optional[float]:
+            return x if math.isfinite(x) else None
+
+        out: Dict[str, Any] = {
+            "num_qubits": self.num_qubits,
+            "config": self.config_summary,
+            "wall_seconds": self.wall_seconds,
+            "serial_seconds": self.serial_seconds,
+            "pipelined_seconds": self.pipelined_seconds,
+            "pipeline_speedup": _num(self.pipeline_speedup),
+            "stage_breakdown": self.stage_breakdown,
+            "stage_event_counts": {
+                st.value: c for st in Stage
+                if (c := self.timeline.count(st))
+            },
+            "compression_ratio": _num(self.compression_ratio),
+            "qubit_headroom": _num(self.qubit_headroom),
+            "memory": {
+                "peaks": {cat: self.tracker.peak(cat)
+                          for cat in self.tracker.categories()},
+                "peak_host_bytes": self.peak_host_bytes,
+                "peak_device_bytes": self.peak_device_bytes,
+                "total_peak_bytes": self.tracker.total_peak(),
+                "dense_bytes": self.dense_bytes,
+            },
+            "plan": {
+                "num_stages": self.plan.num_stages,
+                "num_local_stages": self.plan.num_local_stages,
+                "num_permutation_stages": self.plan.num_permutation_stages,
+                "group_passes": self.plan.group_passes,
+                "max_group_size": self.plan.max_group_size,
+            },
+            "scheduler": {
+                "group_passes": self.scheduler_stats.group_passes,
+                "cpu_group_passes": self.scheduler_stats.cpu_group_passes,
+                "permutation_stages": self.scheduler_stats.permutation_stages,
+                "gates_applied": self.scheduler_stats.gates_applied,
+                "gates_skipped_identity":
+                    self.scheduler_stats.gates_skipped_identity,
+            },
+        }
+        if include_metrics and self.telemetry.enabled:
+            out["metrics"] = self.metrics_snapshot()
+        return out
+
     def report(self) -> str:
         bd = self.stage_breakdown
         lines = [
@@ -268,4 +335,15 @@ class MemQSimResult:
             f"{self.scheduler_stats.gates_skipped_identity} identity-skipped, "
             f"{self.scheduler_stats.cpu_group_passes} CPU-path groups",
         ]
+        if self.telemetry.enabled:
+            snap = self.metrics_snapshot()
+            counters = snap.get("counters", {})
+            lines.append(
+                f"  telemetry: {snap.get('spans', 0)} spans, "
+                f"{sum(1 for v in counters.values() if v)} active counters"
+            )
+            for name in ("transfer.h2d.bytes", "transfer.d2h.bytes",
+                         "cache.hit", "cache.miss"):
+                if counters.get(name):
+                    lines.append(f"    {name:<20} {counters[name]:>14,}")
         return "\n".join(lines)

@@ -25,12 +25,15 @@ import numpy as np
 from ..circuits.gates import Gate
 from ..memory.accounting import MemoryTracker
 from ..statevector.kernels import apply_circuit_gate
+from ..telemetry import NULL_TELEMETRY, get_logger
 from .arena import DeviceArena, DeviceBuffer
 from .spec import DeviceSpec
 from .timeline import Stage, Timeline
 from .transfer import TransferStrategy, make_strategy
 
 __all__ = ["DeviceExecutor", "KernelLaunch"]
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -52,6 +55,7 @@ class DeviceExecutor:
         timeline: Optional[Timeline] = None,
         tracker: Optional[MemoryTracker] = None,
         backend=None,
+        telemetry=None,
     ):
         """``backend`` is any object with ``apply(buf, gates)`` (see
         :mod:`repro.core.backend`); ``None`` uses the numpy kernels."""
@@ -61,6 +65,7 @@ class DeviceExecutor:
         self.timeline = timeline if timeline is not None else Timeline()
         self.transfer = transfer if transfer is not None else make_strategy("sync")
         self.backend = backend
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._queue: List[KernelLaunch] = []
         self.kernels_launched = 0
 
@@ -81,13 +86,15 @@ class DeviceExecutor:
     def upload(self, host: np.ndarray, buf: DeviceBuffer, chunk: int = -1) -> float:
         """H2D: host buffer -> device buffer. Returns seconds."""
         dt = self.transfer.h2d(host, buf.view[: host.shape[0]])
-        self.timeline.record(Stage.H2D, dt, chunk, host.nbytes)
+        self.telemetry.record_stage(self.timeline, Stage.H2D, dt,
+                                    chunk=chunk, nbytes=host.nbytes)
         return dt
 
     def download(self, buf: DeviceBuffer, host: np.ndarray, chunk: int = -1) -> float:
         """D2H: device buffer -> host buffer. Returns seconds."""
         dt = self.transfer.d2h(buf.view[: host.shape[0]], host)
-        self.timeline.record(Stage.D2H, dt, chunk, host.nbytes)
+        self.telemetry.record_stage(self.timeline, Stage.D2H, dt,
+                                    chunk=chunk, nbytes=host.nbytes)
         return dt
 
     # -- kernels ---------------------------------------------------------------
@@ -99,6 +106,7 @@ class DeviceExecutor:
     def synchronize(self) -> float:
         """Drain the stream; returns total kernel seconds executed."""
         total = 0.0
+        tel = self.telemetry
         for launch in self._queue:
             t0 = time.perf_counter()
             view = launch.buffer.view
@@ -108,9 +116,12 @@ class DeviceExecutor:
                 for g in launch.gates:
                     apply_circuit_gate(view, g)
             dt = time.perf_counter() - t0
-            self.timeline.record(
-                Stage.KERNEL, dt, launch.chunk, launch.buffer.nbytes
-            )
+            tel.record_stage(self.timeline, Stage.KERNEL, dt,
+                             chunk=launch.chunk, nbytes=launch.buffer.nbytes,
+                             gates=len(launch.gates))
+            if tel.enabled:
+                tel.metrics.counter("kernel.gates").inc(len(launch.gates))
+                tel.metrics.histogram("kernel.seconds").observe(dt)
             self.kernels_launched += len(launch.gates)
             total += dt
         self._queue.clear()

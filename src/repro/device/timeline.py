@@ -82,6 +82,27 @@ class Timeline:
         self.events.append(ev)
         return ev
 
+    @classmethod
+    def from_spans(cls, spans) -> "Timeline":
+        """Rebuild a timeline from telemetry spans named after stages.
+
+        Spans whose ``name`` is a :class:`Stage` value become events (with
+        ``chunk``/``nbytes`` read from the span attributes); everything
+        else is ignored. Spans are replayed in completion order, which is
+        the order the live stage bridge records events in, so a timeline
+        rebuilt from a traced run's spans is event-for-event equivalent to
+        the one the run populated.
+        """
+        by_name = {s.value: s for s in Stage}
+        tl = cls()
+        for sp in sorted(spans, key=lambda s: s.start + s.duration):
+            stage = by_name.get(sp.name)
+            if stage is None:
+                continue
+            tl.record(stage, sp.duration, int(sp.args.get("chunk", -1)),
+                      int(sp.args.get("nbytes", 0)))
+        return tl
+
     def serial_seconds(self, stage: Optional[Stage] = None) -> float:
         return sum(e.duration for e in self.events
                    if stage is None or e.stage == stage)

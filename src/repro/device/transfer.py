@@ -27,6 +27,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY
+
 __all__ = [
     "TransferStrategy",
     "SyncCopy",
@@ -84,8 +86,9 @@ class TransferStrategy(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, log: Optional[TransferLog] = None):
+    def __init__(self, log: Optional[TransferLog] = None, telemetry=None):
         self.log = log if log is not None else TransferLog()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def h2d(self, host: np.ndarray, device: np.ndarray) -> float:
         """Host buffer -> device view. Returns elapsed seconds."""
@@ -95,6 +98,12 @@ class TransferStrategy(abc.ABC):
         self._copy(host, device)
         dt = time.perf_counter() - t0
         self.log.add(TransferRecord("h2d", host.nbytes, dt, self.name))
+        tel = self.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("transfer.h2d.bytes").inc(host.nbytes)
+            m.counter("transfer.h2d.count").inc()
+            m.histogram("transfer.h2d.seconds").observe(dt)
         return dt
 
     def d2h(self, device: np.ndarray, host: np.ndarray) -> float:
@@ -105,6 +114,12 @@ class TransferStrategy(abc.ABC):
         self._copy(device, host)
         dt = time.perf_counter() - t0
         self.log.add(TransferRecord("d2h", host.nbytes, dt, self.name))
+        tel = self.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("transfer.d2h.bytes").inc(host.nbytes)
+            m.counter("transfer.d2h.count").inc()
+            m.histogram("transfer.d2h.seconds").observe(dt)
         return dt
 
     @abc.abstractmethod
@@ -153,8 +168,9 @@ class BufferedCopy(TransferStrategy):
 
     name = "buffer"
 
-    def __init__(self, max_elements: int, log: Optional[TransferLog] = None):
-        super().__init__(log)
+    def __init__(self, max_elements: int, log: Optional[TransferLog] = None,
+                 telemetry=None):
+        super().__init__(log, telemetry)
         if max_elements < 1:
             raise ValueError("max_elements must be >= 1")
         self._staging = np.empty(max_elements, dtype=np.complex128)
@@ -181,14 +197,15 @@ class BufferedCopy(TransferStrategy):
 
 
 def make_strategy(name: str, max_elements: int = 0,
-                  log: Optional[TransferLog] = None) -> TransferStrategy:
+                  log: Optional[TransferLog] = None,
+                  telemetry=None) -> TransferStrategy:
     """Factory by name: ``sync`` | ``async`` | ``buffer``."""
     if name == "sync":
-        return SyncCopy(log)
+        return SyncCopy(log, telemetry)
     if name == "async":
-        return AsyncPerElementCopy(log)
+        return AsyncPerElementCopy(log, telemetry)
     if name == "buffer":
         if max_elements < 1:
             raise ValueError("buffer strategy needs max_elements")
-        return BufferedCopy(max_elements, log)
+        return BufferedCopy(max_elements, log, telemetry)
     raise KeyError(f"unknown transfer strategy {name!r}")

@@ -29,13 +29,31 @@ class MemorySnapshot:
 
 
 class MemoryTracker:
-    """Tracks current and peak byte usage by category."""
+    """Tracks current and peak byte usage by category.
 
-    def __init__(self) -> None:
+    With a telemetry object attached, every balance change also updates a
+    ``mem.<category>.bytes`` gauge (whose ``max`` mirrors the peak), so
+    memory traces correlate with pipeline spans in one export.
+    """
+
+    def __init__(self, telemetry=None) -> None:
         self._current: Dict[str, int] = {}
         self._peak: Dict[str, int] = {}
         self._total_peak = 0
         self._snapshots: List[MemorySnapshot] = []
+        self.telemetry = telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Start mirroring balances into gauges (existing ones included)."""
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry.enabled:
+            for cat, cur in self._current.items():
+                telemetry.metrics.gauge(f"mem.{cat}.bytes").set(cur)
+
+    def _gauge(self, category: str, value: int) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.metrics.gauge(f"mem.{category}.bytes").set(value)
 
     # -- mutation ---------------------------------------------------------
 
@@ -49,6 +67,7 @@ class MemoryTracker:
         total = self.total_current()
         if total > self._total_peak:
             self._total_peak = total
+        self._gauge(category, cur)
 
     def free(self, category: str, nbytes: int) -> None:
         cur = self._current.get(category, 0) - nbytes
@@ -58,6 +77,7 @@ class MemoryTracker:
                 f"{self._current.get(category, 0)}"
             )
         self._current[category] = cur
+        self._gauge(category, cur)
 
     def resize(self, category: str, old_nbytes: int, new_nbytes: int) -> None:
         """Atomic free+alloc so peaks don't double-count a replacement."""

@@ -10,15 +10,19 @@ growing memory.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Set
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY, get_logger
 from .accounting import MemoryTracker
 
 __all__ = ["BufferPool"]
 
 CATEGORY = "host_buffers"
+
+log = get_logger(__name__)
 
 
 class BufferPool:
@@ -29,6 +33,7 @@ class BufferPool:
         num_buffers: int,
         buffer_size: int,
         tracker: Optional[MemoryTracker] = None,
+        telemetry=None,
     ):
         if num_buffers < 1:
             raise ValueError("num_buffers must be >= 1")
@@ -37,6 +42,7 @@ class BufferPool:
         self.num_buffers = int(num_buffers)
         self.buffer_size = int(buffer_size)
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._free: List[np.ndarray] = [
             np.empty(buffer_size, dtype=np.complex128) for _ in range(num_buffers)
         ]
@@ -58,6 +64,8 @@ class BufferPool:
 
     def acquire(self) -> np.ndarray:
         """Take a buffer; contents are unspecified (callers overwrite)."""
+        tel = self.telemetry
+        t0 = time.perf_counter() if tel.enabled else 0.0
         if not self._free:
             raise RuntimeError(
                 f"buffer pool exhausted ({self.num_buffers} buffers all in use)"
@@ -65,6 +73,14 @@ class BufferPool:
         buf = self._free.pop()
         self._out.add(id(buf))
         self.peak_in_use = max(self.peak_in_use, self.in_use)
+        if tel.enabled:
+            # On this synchronous pool a free buffer is always ready, so
+            # "wait" is the hand-out latency; a blocking pool would observe
+            # genuine queueing here.
+            tel.metrics.counter("pool.acquire.count").inc()
+            tel.metrics.histogram("pool.acquire.wait.seconds").observe(
+                time.perf_counter() - t0)
+            tel.metrics.gauge("pool.in_use").set(self.in_use)
         return buf
 
     def release(self, buf: np.ndarray) -> None:
@@ -73,6 +89,8 @@ class BufferPool:
             raise ValueError("buffer does not belong to this pool")
         self._out.remove(id(buf))
         self._free.append(buf)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge("pool.in_use").set(self.in_use)
 
     def close(self) -> None:
         """Release accounting (pool must be fully returned)."""

@@ -26,12 +26,15 @@ from typing import Optional
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY, get_logger
 from .accounting import MemoryTracker
 from .chunkstore import CompressedChunkStore
 
 __all__ = ["ChunkCache", "CacheStats"]
 
 CATEGORY = "chunk_cache"
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -68,6 +71,7 @@ class ChunkCache:
         capacity_chunks: int,
         policy: str = "mru",
         tracker: Optional[MemoryTracker] = None,
+        telemetry=None,
     ):
         if capacity_chunks < 1:
             raise ValueError("capacity_chunks must be >= 1")
@@ -77,6 +81,8 @@ class ChunkCache:
         self.capacity = int(capacity_chunks)
         self.policy = policy
         self.tracker = tracker if tracker is not None else store.tracker
+        self.telemetry = telemetry if telemetry is not None else \
+            getattr(store, "telemetry", NULL_TELEMETRY)
         self.cache_stats = CacheStats()
         # chunk id -> (array, dirty); insertion order = recency (last=MRU).
         self._entries: "OrderedDict[int, list]" = OrderedDict()
@@ -115,16 +121,26 @@ class ChunkCache:
         if dirty:
             self.inner.store(chunk, arr)
             self.cache_stats.writebacks += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("cache.writeback").inc()
         self.tracker.free(CATEGORY, arr.nbytes)
         self.cache_stats.evictions += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("cache.eviction").inc()
 
     def flush(self) -> None:
         """Write back every dirty chunk and empty the cache."""
+        dirty_n = 0
         for chunk, (arr, dirty) in list(self._entries.items()):
             if dirty:
                 self.inner.store(chunk, arr)
                 self.cache_stats.writebacks += 1
+                dirty_n += 1
             self.tracker.free(CATEGORY, arr.nbytes)
+        if self.telemetry.enabled and dirty_n:
+            self.telemetry.metrics.counter("cache.writeback").inc(dirty_n)
+        log.debug("cache flush: %d resident, %d written back",
+                  len(self._entries), dirty_n)
         self._entries.clear()
 
     @property
@@ -137,6 +153,8 @@ class ChunkCache:
         entry = self._entries.get(chunk)
         if entry is not None:
             self.cache_stats.hits += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("cache.hit").inc()
             self._touch(chunk)
             data = entry[0]
             if out is not None:
@@ -144,6 +162,8 @@ class ChunkCache:
                 return out
             return data.copy()
         self.cache_stats.misses += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("cache.miss").inc()
         data = self.inner.load(chunk)
         self._insert(chunk, data, dirty=False)
         if out is not None:

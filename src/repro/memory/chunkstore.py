@@ -19,8 +19,11 @@ from typing import List, Optional
 import numpy as np
 
 from ..compression.interface import Compressor
+from ..telemetry import NULL_TELEMETRY, get_logger
 from .accounting import MemoryTracker
 from .layout import ChunkLayout
+
+log = get_logger(__name__)
 
 __all__ = ["CompressedChunkStore", "StoreStats"]
 
@@ -57,10 +60,12 @@ class CompressedChunkStore:
         layout: ChunkLayout,
         compressor: Compressor,
         tracker: Optional[MemoryTracker] = None,
+        telemetry=None,
     ):
         self.layout = layout
         self.compressor = compressor
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = StoreStats()
         self._blobs: List[Optional[bytes]] = [None] * layout.num_chunks
         self._zero_blob: Optional[bytes] = None
@@ -133,9 +138,14 @@ class CompressedChunkStore:
             raise KeyError(f"chunk {chunk} not initialized")
         t0 = time.perf_counter()
         arr = self.compressor.decompress(blob)
-        self.stats.decompress_seconds += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.decompress_seconds += dt
         self.stats.loads += 1
         self.stats.bytes_decompressed += arr.nbytes
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("codec.decompress.bytes").inc(arr.nbytes)
+            tel.metrics.histogram("codec.decompress.seconds").observe(dt)
         if arr.shape[0] != self.layout.chunk_size:
             raise ValueError(
                 f"chunk {chunk} decompressed to {arr.shape[0]} amplitudes, "
@@ -155,9 +165,15 @@ class CompressedChunkStore:
     def _compress(self, data: np.ndarray) -> bytes:
         t0 = time.perf_counter()
         blob = self.compressor.compress(data)
-        self.stats.compress_seconds += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.compress_seconds += dt
         self.stats.stores += 1
         self.stats.bytes_compressed += len(blob)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("codec.compress.bytes_in").inc(data.nbytes)
+            tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
+            tel.metrics.histogram("codec.compress.seconds").observe(dt)
         return blob
 
     def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:

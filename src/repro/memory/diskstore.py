@@ -47,8 +47,9 @@ class DiskChunkStore(CompressedChunkStore):
         path: Union[str, Path],
         tracker: Optional[MemoryTracker] = None,
         compact_threshold: float = 0.5,
+        telemetry=None,
     ):
-        super().__init__(layout, compressor, tracker)
+        super().__init__(layout, compressor, tracker, telemetry)
         if not 0.0 < compact_threshold <= 1.0:
             raise ValueError("compact_threshold must be in (0, 1]")
         self.path = Path(path)

@@ -27,9 +27,12 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..compression.interface import Compressor
+from ..telemetry import get_logger
 from .accounting import MemoryTracker
 from .chunkstore import CompressedChunkStore
 from .layout import ChunkLayout
+
+log = get_logger(__name__)
 
 __all__ = ["save_store", "load_store", "StoreFormatError"]
 
@@ -69,6 +72,8 @@ def save_store(store: CompressedChunkStore, path: Union[str, Path]) -> int:
             parts.append(blob)
     data = b"".join(parts)
     path.write_bytes(data)
+    log.info("saved %d-chunk store to %s (%d bytes)",
+             store.layout.num_chunks, path, len(data))
     return len(data)
 
 
@@ -120,4 +125,6 @@ def load_store(
             raise StoreFormatError("truncated checkpoint")
         store._set_blob(k, data[off:off + blen])
         off += blen
+    log.info("loaded %d-chunk store from %s (%d bytes, codec=%s)",
+             num_chunks, path, len(data), name)
     return store

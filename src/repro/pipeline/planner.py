@@ -27,7 +27,10 @@ from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate, is_diagonal, make_gate
 from ..device.spec import DeviceSpec
 from ..memory.layout import ChunkLayout
+from ..telemetry import get_logger
 from .stages import GateStage, PermutationStage
+
+log = get_logger(__name__)
 
 __all__ = ["plan_stages", "max_group_qubits_for", "PlanReport", "describe_plan"]
 
@@ -173,6 +176,8 @@ def plan_stages(
     for g in circuit:
         process(g)
     close()
+    log.debug("planned %d gates into %d stages (t_max=%d)",
+              len(circuit), len(stages), max_group_qubits)
     return stages
 
 

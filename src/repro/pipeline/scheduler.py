@@ -25,7 +25,6 @@ the pipelined makespan is computed afterwards by
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,9 +36,12 @@ from ..memory.bufferpool import BufferPool
 from ..memory.chunkstore import CompressedChunkStore
 from ..memory.layout import ChunkLayout, GroupPlacement
 from ..statevector.kernels import apply_circuit_gate
+from ..telemetry import NULL_TELEMETRY, get_logger
 from .stages import GateStage, PermutationStage
 
 __all__ = ["StageScheduler", "remap_gate_for_group", "restrict_diagonal"]
+
+log = get_logger(__name__)
 
 
 def restrict_diagonal(
@@ -192,6 +194,7 @@ class StageScheduler:
         cpu_offload_fraction: float = 0.0,
         fuse_gates: bool = False,
         serpentine: bool = False,
+        telemetry=None,
     ):
         """``executor`` is one DeviceExecutor or a sequence of them; with
         several, chunk groups are distributed round-robin (simulated
@@ -215,7 +218,9 @@ class StageScheduler:
         self.cpu_offload_fraction = cpu_offload_fraction
         self.fuse_gates = bool(fuse_gates)
         self.serpentine = bool(serpentine)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._stage_parity = 0
+        self._stage_index = 0
         self.stats = SchedulerStats()
 
     def _executor_for(self, gi: int):
@@ -224,29 +229,35 @@ class StageScheduler:
     # -- public ---------------------------------------------------------------
 
     def run_stage(self, stage) -> None:
+        si = self._stage_index
+        self._stage_index += 1
         if isinstance(stage, PermutationStage):
-            self._run_permutation(stage)
+            with self.telemetry.span("stage", index=si, kind="permutation"):
+                self._run_permutation(stage)
         elif isinstance(stage, GateStage):
-            self._run_gate_stage(stage)
+            with self.telemetry.span("stage", index=si, kind="gate",
+                                     gates=len(stage.gates)):
+                self._run_gate_stage(stage, si)
         else:
             raise TypeError(f"unknown stage type {type(stage).__name__}")
 
     def run(self, stages: Sequence[object]) -> None:
+        log.debug("scheduler: running %d stages", len(stages))
         for s in stages:
             self.run_stage(s)
 
     # -- permutation stages ---------------------------------------------------------
 
     def _run_permutation(self, stage: PermutationStage) -> None:
-        t0 = time.perf_counter()
-        self.store.permute(stage.perm)
-        self.timeline.record(Stage.CPU_UPDATE, time.perf_counter() - t0, -1, 0)
+        with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
+                                       kind="permutation"):
+            self.store.permute(stage.perm)
         self.stats.permutation_stages += 1
         self.stats.gates_applied += len(stage.gates)
 
     # -- gate stages -------------------------------------------------------------------
 
-    def _run_gate_stage(self, stage: GateStage) -> None:
+    def _run_gate_stage(self, stage: GateStage, si: int = -1) -> None:
         placement = self.layout.chunk_groups(stage.group_qubits)
         group_size = self.layout.chunk_size << len(placement.group_qubits)
         cs = self.layout.chunk_size
@@ -266,10 +277,15 @@ class StageScheduler:
         for gi, members in order:
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
             gates = self._gates_for_group(stage, placement, members[0])
-            if cpu_path:
-                self._run_group_cpu(gi, members, gates, group_size)
-            else:
-                self._run_group_device(gi, members, gates, group_size)
+            with self.telemetry.span(
+                "group_pass", stage=si, group=gi,
+                path="cpu" if cpu_path else "device",
+                chunks=len(members), nbytes=group_size * 16,
+            ):
+                if cpu_path:
+                    self._run_group_cpu(gi, members, gates, group_size)
+                else:
+                    self._run_group_device(gi, members, gates, group_size)
             self.stats.group_passes += 1
 
     def _gates_for_group(self, stage: GateStage, placement: GroupPlacement,
@@ -290,20 +306,18 @@ class StageScheduler:
         # group's decompress -> h2d -> kernel -> d2h -> compress pass.
         cs = self.layout.chunk_size
         for slot, chunk in enumerate(members):
-            t0 = time.perf_counter()
-            self.store.load(chunk, out=buf[slot * cs:(slot + 1) * cs])
-            self.timeline.record(
-                Stage.DECOMPRESS, time.perf_counter() - t0, gi, cs * 16
-            )
+            with self.telemetry.stage_span(self.timeline, Stage.DECOMPRESS,
+                                           chunk=gi, nbytes=cs * 16,
+                                           chunk_id=chunk):
+                self.store.load(chunk, out=buf[slot * cs:(slot + 1) * cs])
 
     def _store_group(self, gi: int, members: Tuple[int, ...], buf: np.ndarray) -> None:
         cs = self.layout.chunk_size
         for slot, chunk in enumerate(members):
-            t0 = time.perf_counter()
-            self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
-            self.timeline.record(
-                Stage.COMPRESS, time.perf_counter() - t0, gi, cs * 16
-            )
+            with self.telemetry.stage_span(self.timeline, Stage.COMPRESS,
+                                           chunk=gi, nbytes=cs * 16,
+                                           chunk_id=chunk):
+                self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
 
     def _run_group_device(self, gi: int, members: Tuple[int, ...],
                           gates: List[Gate], group_size: int) -> None:
@@ -331,12 +345,11 @@ class StageScheduler:
         try:
             view = buf[:group_size]
             self._load_group(gi, members, view)
-            t0 = time.perf_counter()
-            for g in gates:
-                apply_circuit_gate(view, g)
-            self.timeline.record(
-                Stage.CPU_UPDATE, time.perf_counter() - t0, gi, group_size * 16
-            )
+            with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
+                                           chunk=gi, nbytes=group_size * 16,
+                                           gates=len(gates)):
+                for g in gates:
+                    apply_circuit_gate(view, g)
             self.stats.gates_applied += len(gates)
             self.stats.cpu_group_passes += 1
             self._store_group(gi, members, view)

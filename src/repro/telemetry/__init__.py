@@ -1,0 +1,162 @@
+"""Unified telemetry: tracing spans, a metrics registry, and logging.
+
+One :class:`Telemetry` object bundles the three observability primitives
+the pipeline threads through every layer:
+
+* :class:`~repro.telemetry.tracer.Tracer` — nestable spans with
+  Chrome-trace / Perfetto and JSONL export (``with tel.span("h2d", ...)``);
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — named counters,
+  gauges, and fixed-bucket histograms (``tel.metrics.counter(...)``);
+* the ``repro`` logger hierarchy (:mod:`repro.telemetry.logutil`).
+
+``Telemetry.disabled()`` (and the shared :data:`NULL_TELEMETRY` singleton)
+swap in the null twins, so instrumented hot paths cost an attribute lookup
+and a branch when observability is off. Call sites that build attribute
+dicts or format strings guard on ``tel.enabled`` first.
+
+The **stage bridge** (:meth:`Telemetry.stage_span` /
+:meth:`Telemetry.record_stage`) is how the execution
+:class:`~repro.device.timeline.Timeline` stays a *derived view*: the
+pipeline measures each decompress/H2D/kernel/D2H/compress hop exactly once,
+and the bridge fans the one measurement out to the timeline (always — the
+overlap model needs it) and to the tracer (when enabled).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .logutil import configure_logging, get_logger, log
+from .metrics import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Timer,
+)
+from .tracer import NullTracer, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+    "log",
+    "get_logger",
+    "configure_logging",
+]
+
+
+class _StageBridge:
+    """Times one pipeline hop; fans the measurement out on exit."""
+
+    __slots__ = ("_tel", "_timeline", "_stage", "_chunk", "_nbytes",
+                 "_attrs", "_t0", "seconds")
+
+    def __init__(self, tel: "Telemetry", timeline, stage, chunk: int,
+                 nbytes: int, attrs: Optional[Dict[str, Any]]):
+        self._tel = tel
+        self._timeline = timeline
+        self._stage = stage
+        self._chunk = chunk
+        self._nbytes = nbytes
+        self._attrs = attrs
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_StageBridge":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        self._tel.record_stage(
+            self._timeline, self._stage, self.seconds,
+            chunk=self._chunk, nbytes=self._nbytes,
+            **(self._attrs or {}),
+        )
+        return False
+
+
+class Telemetry:
+    """Tracer + metrics + logger, threaded through the whole pipeline."""
+
+    __slots__ = ("tracer", "metrics", "log", "enabled")
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 enabled: bool = True):
+        self.enabled = bool(enabled)
+        if self.enabled:
+            self.tracer = tracer if tracer is not None else Tracer()
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.metrics.declare_standard()
+        else:
+            self.tracer = NullTracer()
+            self.metrics = NullMetrics()
+        self.log = log
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A no-op telemetry object (see also :data:`NULL_TELEMETRY`)."""
+        return cls(enabled=False)
+
+    # -- tracer conveniences -------------------------------------------------
+
+    def span(self, name: str, **args):
+        """Open a nested span (no-op context manager when disabled)."""
+        return self.tracer.span(name, **args)
+
+    def instant(self, name: str, **args):
+        return self.tracer.instant(name, **args)
+
+    # -- the timeline/stage bridge -------------------------------------------
+
+    def stage_span(self, timeline, stage, chunk: int = -1, nbytes: int = 0,
+                   **attrs) -> _StageBridge:
+        """Measure one pipeline hop: ``with tel.stage_span(tl, Stage.H2D, ...)``.
+
+        Exactly one ``perf_counter`` pair runs; the result lands on
+        ``timeline`` (always) and in the tracer (when enabled). ``stage``
+        is a :class:`~repro.device.timeline.Stage` (duck-typed: anything
+        ``timeline.record`` accepts whose ``value`` names the span).
+        """
+        return _StageBridge(self, timeline, stage, chunk, nbytes,
+                            attrs or None)
+
+    def record_stage(self, timeline, stage, seconds: float,
+                     chunk: int = -1, nbytes: int = 0, **attrs) -> None:
+        """Log an already-measured pipeline hop (e.g. a timed transfer)."""
+        timeline.record(stage, seconds, chunk, nbytes)
+        if self.tracer.enabled:
+            name = getattr(stage, "value", str(stage))
+            self.tracer.record(name, seconds, chunk=chunk, nbytes=nbytes,
+                               **attrs)
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Metrics snapshot plus span count — the report/JSON payload."""
+        snap = self.metrics.snapshot()
+        snap["spans"] = len(self.tracer)
+        return snap
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<Telemetry {state} {self.tracer!r} {self.metrics!r}>"
+
+
+#: shared disabled instance — the default everywhere telemetry is optional
+NULL_TELEMETRY = Telemetry.disabled()

@@ -1,0 +1,61 @@
+"""Package-wide logging: one ``repro`` logger hierarchy.
+
+Every module grabs its logger via ``get_logger(__name__)`` so the whole
+package shares the ``repro.*`` namespace and a single ``--log-level`` knob
+(CLI) or ``configure_logging()`` call (library use) controls verbosity.
+The root ``repro`` logger carries a ``NullHandler`` so the library stays
+silent unless the application opts in — the stdlib-recommended pattern.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+__all__ = ["log", "get_logger", "configure_logging"]
+
+ROOT_NAME = "repro"
+
+#: the package root logger (``repro.telemetry.log``)
+log = logging.getLogger(ROOT_NAME)
+log.addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_configured_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy.
+
+    ``get_logger("repro.memory.cache")`` and ``get_logger("memory.cache")``
+    return the same logger; no argument returns the package root.
+    """
+    if not name or name == ROOT_NAME:
+        return log
+    if not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: Union[int, str] = "INFO",
+                      stream=None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root at ``level``.
+
+    Idempotent: repeated calls reconfigure the one handler instead of
+    stacking duplicates. Returns the root logger.
+    """
+    global _configured_handler
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    if _configured_handler is not None:
+        log.removeHandler(_configured_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    log.addHandler(handler)
+    log.setLevel(level)
+    _configured_handler = handler
+    return log

@@ -1,0 +1,355 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments the pipeline
+increments as it works (``transfer.h2d.bytes``, ``codec.compress.seconds``,
+``cache.hit``, ...). Instruments are created lazily on first use and keep
+accumulating for the registry's lifetime; :meth:`MetricsRegistry.snapshot`
+returns a plain-dict view suitable for JSON export or report sections.
+
+:class:`NullMetrics` is the disabled twin: it hands back shared instrument
+singletons whose mutators are no-ops, so instrumentation in hot paths costs
+almost nothing when telemetry is off (and call sites additionally guard on
+``telemetry.enabled``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetrics",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+]
+
+#: log-scale bucket upper bounds for durations in seconds (1us .. 10s)
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: power-of-16 bucket upper bounds for byte sizes (16B .. 16GiB)
+DEFAULT_BYTES_BUCKETS: Tuple[float, ...] = tuple(
+    float(16 << (4 * i)) for i in range(9)
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Point-in-time value (bytes resident, buffers in use, ...)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    def add(self, d: float) -> None:
+        self.set(self.value + d)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value, "max": self.max_value}
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value} max={self.max_value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``edges`` are ascending bucket *upper bounds*; an implicit +Inf bucket
+    catches everything above the last edge. ``observe(v)`` increments the
+    first bucket whose upper bound is >= v (standard Prometheus-style
+    cumulative-le semantics, stored non-cumulatively).
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError("need at least one bucket edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("bucket edges must be strictly ascending")
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_labels(self) -> List[str]:
+        return [f"<={e:g}" for e in self.edges] + ["+Inf"]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": dict(zip(self.bucket_labels(), self.counts)),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name} count={self.count} "
+                f"mean={self.mean:g}>")
+
+
+class Timer:
+    """Context manager observing elapsed seconds into a histogram."""
+
+    __slots__ = ("hist", "seconds", "_t0")
+
+    def __init__(self, hist: Histogram):
+        self.hist = hist
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        self.hist.observe(self.seconds)
+        return False
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments + snapshot/JSON export."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) --------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_SECONDS_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges)
+        return h
+
+    def timer(self, name: str,
+              edges: Sequence[float] = DEFAULT_SECONDS_BUCKETS) -> Timer:
+        return Timer(self.histogram(name, edges))
+
+    def declare_standard(self) -> None:
+        """Pre-register the pipeline's standard instruments at zero.
+
+        Run metrics snapshots then always contain the transfer byte
+        counters, codec timing histograms, and cache hit/miss counters,
+        even for configurations that never touch them (e.g. no cache).
+        """
+        for name in (
+            "cache.hit", "cache.miss", "cache.writeback", "cache.eviction",
+            "transfer.h2d.bytes", "transfer.d2h.bytes",
+            "transfer.h2d.count", "transfer.d2h.count",
+            "codec.compress.bytes_in", "codec.compress.bytes_out",
+            "codec.decompress.bytes",
+            "pool.acquire.count",
+        ):
+            self.counter(name)
+        for name in (
+            "codec.compress.seconds", "codec.decompress.seconds",
+            "transfer.h2d.seconds", "transfer.d2h.seconds",
+            "pool.acquire.wait.seconds",
+        ):
+            self.histogram(name)
+
+    # -- export -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        def _safe(o):
+            return str(o)
+
+        snap = self.snapshot()
+        # JSON has no Infinity; clamp unobserved min/max already handled
+        # (None) — histograms with observations always have finite min/max.
+        return json.dumps(snap, indent=indent, default=_safe)
+
+    def write_json(self, path: str, indent: Optional[int] = 2) -> int:
+        payload = self.to_json(indent)
+        with open(path, "w") as fh:
+            fh.write(payload)
+        return len(payload)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {len(self._counters)}c "
+                f"{len(self._gauges)}g {len(self._histograms)}h>")
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def snapshot(self):
+        return 0
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    max_value = 0.0
+
+    def set(self, v: float) -> None:
+        pass
+
+    def add(self, d: float) -> None:
+        pass
+
+    def snapshot(self):
+        return {"value": 0.0, "max": 0.0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def snapshot(self):
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "mean": 0.0, "buckets": {}}
+
+
+class _NullTimer:
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMER = _NullTimer()
+
+
+class NullMetrics:
+    """Disabled registry: shared no-op instruments, empty snapshots."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, edges: Sequence[float] = ()) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str, edges: Sequence[float] = ()) -> _NullTimer:
+        return _NULL_TIMER
+
+    def declare_standard(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write_json(self, path: str, indent: Optional[int] = 2) -> int:
+        payload = self.to_json(indent)
+        with open(path, "w") as fh:
+            fh.write(payload)
+        return len(payload)
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullMetrics>"

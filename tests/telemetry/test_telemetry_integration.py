@@ -1,0 +1,235 @@
+"""Telemetry threaded through the pipeline: spans, metrics, equivalence.
+
+These are the tests for the observability *wiring*: a traced MEMQSim run
+must produce one span per pipeline hop, metrics that agree with the
+simulator's own statistics, and a timeline that is exactly the spans'
+shadow. Plus the contract that disabled telemetry is effectively free.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.circuits import ghz, qft
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.device.timeline import Stage, Timeline
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+def traced_run(circuit, tel=None, **cfg_kw):
+    defaults = dict(
+        chunk_qubits=4,
+        compressor="zlib",
+        # groups of 2 chunks, double-buffered: forces several group passes
+        device=DeviceSpec(memory_bytes=(1 << 5) * 16 * 2),
+    )
+    defaults.update(cfg_kw)
+    tel = tel if tel is not None else Telemetry()
+    res = MemQSim(MemQSimConfig(**defaults), telemetry=tel).run(circuit)
+    return res, tel
+
+
+class TestTelemetryFacade:
+    def test_enabled_bundles_real_instruments(self):
+        tel = Telemetry()
+        assert tel.enabled
+        assert tel.tracer.enabled
+        assert tel.metrics.enabled
+        # declare_standard ran: acceptance counters pre-registered at 0
+        assert tel.metrics.snapshot()["counters"]["transfer.h2d.bytes"] == 0
+
+    def test_disabled_bundles_null_twins(self):
+        tel = Telemetry.disabled()
+        assert not tel.enabled
+        with tel.span("x") as sp:
+            assert sp is None
+        assert tel.snapshot()["spans"] == 0
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_stage_span_feeds_timeline_and_tracer(self):
+        tel = Telemetry()
+        tl = Timeline()
+        with tel.stage_span(tl, Stage.H2D, chunk=2, nbytes=1024):
+            time.sleep(0.001)
+        assert tl.count(Stage.H2D) == 1
+        ev = tl.events[0]
+        assert ev.chunk == 2 and ev.nbytes == 1024
+        [sp] = tel.tracer.find("h2d")
+        assert sp.duration == ev.duration
+        assert sp.args["chunk"] == 2
+
+    def test_stage_span_feeds_timeline_even_when_disabled(self):
+        tel = Telemetry.disabled()
+        tl = Timeline()
+        with tel.stage_span(tl, Stage.KERNEL, chunk=0, nbytes=64):
+            pass
+        assert tl.count(Stage.KERNEL) == 1
+        assert len(tel.tracer) == 0
+
+    def test_record_stage(self):
+        tel = Telemetry()
+        tl = Timeline()
+        tel.record_stage(tl, Stage.D2H, 0.125, chunk=1, nbytes=512)
+        assert tl.events[0].duration == 0.125
+        [sp] = tel.tracer.find("d2h")
+        assert sp.duration == 0.125
+
+
+class TestPipelineTrace:
+    def test_one_span_per_stage_per_group_pass(self):
+        res, tel = traced_run(qft(8))
+        tr = tel.tracer
+        passes = res.scheduler_stats.group_passes
+        assert passes > 1  # the tight device really forced streaming
+        assert len(tr.find("group_pass")) == passes
+        # Device-path passes: one h2d, one kernel batch, one d2h each.
+        for name in ("h2d", "d2h", "kernel"):
+            assert len(tr.find(name)) == passes
+        # Codec hops: one per chunk per pass (2 chunks per group here).
+        assert len(tr.find("decompress")) == res.timeline.count(Stage.DECOMPRESS)
+        assert len(tr.find("compress")) == res.timeline.count(Stage.COMPRESS)
+        # Phase framing spans are present.
+        assert len(tr.find("offline")) == 1
+        assert len(tr.find("online")) == 1
+        assert len(tr.find("run")) == 1
+        assert len(tr.find("stage")) == res.plan.num_stages
+
+    def test_every_pipeline_stage_kind_appears(self):
+        res, tel = traced_run(qft(8))
+        names = {s.name for s in tel.tracer.spans}
+        for stage in (Stage.DECOMPRESS, Stage.H2D, Stage.KERNEL, Stage.D2H,
+                      Stage.COMPRESS):
+            assert stage.value in names
+
+    def test_span_nesting_group_pass_under_online(self):
+        _, tel = traced_run(ghz(8))
+        for sp in tel.tracer.find("group_pass"):
+            assert sp.parent == "stage"
+        for sp in tel.tracer.find("stage"):
+            assert sp.parent == "online"
+
+    def test_cpu_offload_path_traced(self):
+        res, tel = traced_run(ghz(8), cpu_offload_fraction=1.0)
+        assert res.scheduler_stats.cpu_group_passes > 0
+        assert len(tel.tracer.find("cpu_update")) == \
+            res.timeline.count(Stage.CPU_UPDATE)
+        assert all(sp.args["path"] == "cpu"
+                   for sp in tel.tracer.find("group_pass"))
+
+    def test_chrome_trace_export_of_real_run(self, tmp_path):
+        _, tel = traced_run(qft(8))
+        path = tmp_path / "run.trace.json"
+        tel.tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(tel.tracer)
+        for e in complete:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+
+
+class TestTimelineFromSpans:
+    def test_equivalence_with_live_timeline(self):
+        res, tel = traced_run(qft(8), cpu_offload_fraction=0.5)
+        rebuilt = Timeline.from_spans(tel.tracer.spans)
+        live = res.timeline.events
+        assert len(rebuilt.events) == len(live)
+        for a, b in zip(rebuilt.events, live):
+            assert a.stage == b.stage
+            assert a.chunk == b.chunk
+            assert a.nbytes == b.nbytes
+            assert a.duration == pytest.approx(b.duration, abs=1e-12)
+        assert rebuilt.stage_breakdown() == pytest.approx(
+            res.timeline.stage_breakdown())
+
+    def test_non_stage_spans_ignored(self):
+        _, tel = traced_run(ghz(8))
+        rebuilt = Timeline.from_spans(tel.tracer.spans)
+        names = {e.stage for e in rebuilt.events}
+        assert names <= set(Stage)
+
+
+class TestPipelineMetrics:
+    def test_transfer_counters_match_timeline(self):
+        res, tel = traced_run(qft(8))
+        snap = tel.metrics.snapshot()
+        h2d_bytes = sum(e.nbytes for e in res.timeline.events
+                        if e.stage == Stage.H2D)
+        assert snap["counters"]["transfer.h2d.bytes"] == h2d_bytes
+        assert snap["counters"]["transfer.h2d.count"] == \
+            res.timeline.count(Stage.H2D)
+        assert snap["histograms"]["transfer.h2d.seconds"]["count"] == \
+            res.timeline.count(Stage.H2D)
+
+    def test_codec_metrics(self):
+        res, tel = traced_run(qft(8))
+        snap = tel.metrics.snapshot()
+        st = res.store.stats
+        assert snap["histograms"]["codec.compress.seconds"]["count"] == st.stores
+        assert snap["histograms"]["codec.decompress.seconds"]["count"] >= 1
+        assert snap["counters"]["codec.compress.bytes_out"] == \
+            st.bytes_compressed
+
+    def test_cache_counters(self):
+        res, tel = traced_run(qft(8), cache_chunks=8)
+        snap = tel.metrics.snapshot()
+        stats = res.store.cache_stats
+        assert snap["counters"]["cache.hit"] == stats.hits
+        assert snap["counters"]["cache.miss"] == stats.misses
+        assert stats.hits + stats.misses > 0
+
+    def test_pool_and_memory_gauges(self):
+        _, tel = traced_run(ghz(8))
+        snap = tel.metrics.snapshot()
+        assert snap["counters"]["pool.acquire.count"] > 0
+        assert snap["histograms"]["pool.acquire.wait.seconds"]["count"] > 0
+        assert snap["gauges"]["mem.chunk_store.bytes"]["max"] > 0
+        assert snap["gauges"]["mem.host_buffers.bytes"]["max"] > 0
+
+    def test_result_to_dict_includes_metrics(self):
+        res, _ = traced_run(ghz(8))
+        d = res.to_dict()
+        assert "metrics" in d
+        assert d["metrics"]["counters"]["transfer.h2d.bytes"] > 0
+        json.dumps(d)  # strictly serializable
+
+    def test_result_to_dict_without_telemetry(self):
+        res = MemQSim(chunk_qubits=4, compressor="zlib").run(ghz(8))
+        d = res.to_dict()
+        assert "metrics" not in d
+        assert d["stage_event_counts"]["kernel"] >= 1
+        json.dumps(d)
+
+    def test_report_has_telemetry_section(self):
+        res, _ = traced_run(ghz(8))
+        assert "telemetry:" in res.report()
+        plain = MemQSim(chunk_qubits=4, compressor="zlib").run(ghz(8))
+        assert "telemetry:" not in plain.report()
+
+
+class TestDisabledOverhead:
+    def test_null_span_is_cheap(self):
+        """The disabled fast path must stay in no-op territory.
+
+        Bound is deliberately loose (50x a typical interpreter dict lookup)
+        so this only fails if someone accidentally makes the null path
+        allocate or format.
+        """
+        tel = NULL_TELEMETRY
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tel.span("hot"):
+                pass
+        per_op = (time.perf_counter() - t0) / n
+        assert per_op < 20e-6
+
+    def test_disabled_run_records_nothing(self):
+        res, tel = traced_run(ghz(8), tel=Telemetry.disabled())
+        assert len(tel.tracer) == 0
+        assert tel.metrics.snapshot() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+        # ...but the timeline (a core output) is still fully populated.
+        assert res.timeline.count(Stage.KERNEL) > 0
+        assert res.serial_seconds > 0
