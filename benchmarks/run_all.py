@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "A6": ("bench_ablations", "slow"),
     "A7": ("bench_cache", "slow"),
     "A8": ("bench_entropy_vs_ratio", "fast"),
+    "P1": ("bench_parallel_scaling", "slow"),
 }
 
 

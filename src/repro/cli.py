@@ -15,6 +15,7 @@ Commands:
 Examples::
 
     python -m repro run qft -n 14 --compressor szlike --error-bound 1e-6
+    python -m repro run qft -n 16 --workers 4 --execution parallel
     python -m repro run qft -n 10 --trace-out qft.trace.json --json
     python -m repro run --qasm circuit.qasm --shots 1000
     python -m repro compressors --evaluate qft -n 12
@@ -69,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--cache-policy", default="mru", choices=["lru", "mru"])
     runp.add_argument("--devices", type=int, default=1,
                       help="simulated device count")
+    _add_parallel_args(runp)
     runp.add_argument("--shots", type=int, default=0, help="sample this many shots")
     runp.add_argument("--seed", type=int, default=None)
     runp.add_argument("--save-state", help="write a compressed checkpoint here")
@@ -106,10 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
     tracep.add_argument("--cache-chunks", type=int, default=0)
     tracep.add_argument("--offload", type=float, default=0.0)
     tracep.add_argument("--device-mb", type=float, default=256.0)
+    _add_parallel_args(tracep)
     _add_telemetry_args(tracep)
     tracep.add_argument("--top", type=int, default=10,
                         help="rows in the printed span summary")
     return p
+
+
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="codec worker processes (1 = serial, 0 = auto: "
+                        "fan out only when cores and codec cost justify it)")
+    p.add_argument("--execution", default="auto",
+                   choices=["serial", "parallel", "auto"],
+                   help="stage engine (auto = parallel iff workers > 1)")
+    p.add_argument("--serpentine", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="alternate group sweep direction per stage "
+                        "(boustrophedon chunk locality)")
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -183,6 +199,9 @@ def _cmd_run(args) -> int:
         cache_chunks=args.cache_chunks,
         cache_policy=args.cache_policy,
         num_devices=args.devices,
+        workers=args.workers,
+        execution=args.execution,
+        serpentine_groups=args.serpentine,
     )
     if args.autotune:
         from .pipeline import autotune_chunk_qubits
@@ -308,6 +327,9 @@ def _cmd_trace(args) -> int:
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
         cpu_offload_fraction=args.offload,
         cache_chunks=args.cache_chunks,
+        workers=args.workers,
+        execution=args.execution,
+        serpentine_groups=args.serpentine,
     )
     circuit = get_workload(args.workload, args.qubits)
     res = MemQSim(cfg, telemetry=tel).run(circuit)

@@ -55,6 +55,17 @@ class MemQSimConfig:
         store: ``"memory"`` (default) or ``"disk"`` — out-of-core blobs in
             an append log (RAM cost: the chunk index only).
         disk_path: log file for the disk store (default: a temp file).
+        workers: codec worker processes. ``1`` (default) = the serial code
+            path, unchanged; ``>1`` = fan chunk compress/decompress out to
+            a process pool; ``0`` = auto (empirical probe: spare cores and
+            a codec-bound chunk size, else 1).
+        execution: ``"serial"`` | ``"parallel"`` | ``"auto"`` (default) —
+            which stage engine runs the online stage. ``auto`` picks
+            parallel exactly when the resolved worker count exceeds 1;
+            ``parallel`` forces the overlapped engine even at 1 worker
+            (inline codec, useful for deterministic engine testing).
+        shm_threshold_bytes: codec job payloads at/above this size ship via
+            ``multiprocessing.shared_memory`` instead of pickled bytes.
     """
 
     chunk_qubits: int = 0
@@ -76,9 +87,23 @@ class MemQSimConfig:
     serpentine_groups: bool = True
     store: str = "memory"
     disk_path: Optional[str] = None
+    workers: int = 1
+    execution: str = "auto"
+    shm_threshold_bytes: int = 1 << 20
 
     def make_compressor(self) -> Compressor:
         return get_compressor(self.compressor, **self.compressor_options)
+
+    def resolve_workers(self, chunk_size: int = 0) -> int:
+        """The effective codec worker count (``workers=0`` probes)."""
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.workers:
+            return self.workers
+        from ..parallel.pool import auto_workers
+
+        return auto_workers(self.make_compressor(),
+                            chunk_size or (1 << 12))
 
     def resolve_chunk_qubits(self, num_qubits: int) -> int:
         """Pick the chunk size for an ``num_qubits``-qubit run."""
@@ -108,5 +133,6 @@ class MemQSimConfig:
             f"chunk_qubits={self.chunk_qubits or 'auto'} "
             f"compressor={self.compressor}({co}) transfer={self.transfer} "
             f"device={self.device.memory_bytes // (1 << 20)}MiB "
-            f"offload={self.cpu_offload_fraction:g} buffers={self.num_buffers}"
+            f"offload={self.cpu_offload_fraction:g} buffers={self.num_buffers} "
+            f"workers={self.workers or 'auto'} execution={self.execution}"
         )

@@ -203,17 +203,48 @@ class MemQSim:
                 telemetry=tel,
             )
         pool = BufferPool(cfg.num_buffers, buffer_amps, tracker, telemetry=tel)
-        scheduler = StageScheduler(
-            layout, store_like, executors, pool, timeline,
+        if cfg.execution not in ("serial", "parallel", "auto"):
+            raise ValueError(
+                f"execution must be serial|parallel|auto, got {cfg.execution!r}"
+            )
+        workers = 1 if cfg.execution == "serial" \
+            else cfg.resolve_workers(layout.chunk_size)
+        use_parallel = cfg.execution == "parallel" or (
+            cfg.execution == "auto" and workers > 1)
+        sched_kwargs = dict(
             cpu_offload_fraction=cfg.cpu_offload_fraction,
             fuse_gates=cfg.fuse_gates,
             serpentine=cfg.serpentine_groups,
             telemetry=tel,
         )
-        with tel.span("online", stages=plan.num_stages):
-            scheduler.run(stages)
-            if store_like is not store:
-                store_like.flush()
+        codec_pool = None
+        if use_parallel:
+            from ..parallel import CodecWorkerPool, ParallelStageScheduler
+
+            codec_pool = CodecWorkerPool(
+                store.compressor, workers=workers,
+                shm_threshold=cfg.shm_threshold_bytes, telemetry=tel,
+            )
+            scheduler = ParallelStageScheduler(
+                layout, store_like, executors, pool, timeline,
+                codec_pool=codec_pool, **sched_kwargs,
+            )
+            log.debug("online: parallel engine, %d codec workers (%s)",
+                      workers,
+                      "process pool" if codec_pool.is_parallel else "inline")
+        else:
+            scheduler = StageScheduler(
+                layout, store_like, executors, pool, timeline, **sched_kwargs,
+            )
+        try:
+            with tel.span("online", stages=plan.num_stages,
+                          workers=workers if use_parallel else 1):
+                scheduler.run(stages)
+                if store_like is not store:
+                    store_like.flush()
+        finally:
+            if codec_pool is not None:
+                codec_pool.close()
         pool.close()
         for ex in executors:
             ex.reset()
@@ -233,6 +264,19 @@ class MemQSim:
             m.gauge("run.pipelined.seconds").set(pipelined)
         log.info("run done: n=%d wall=%.3fs pipelined=%.3fs", n, wall,
                  pipelined)
+        config_echo = {
+            "chunk_qubits": c,
+            "compressor": cfg.compressor,
+            "transfer": cfg.transfer,
+            "cpu_offload_fraction": cfg.cpu_offload_fraction,
+            "num_devices": cfg.num_devices,
+            "cache_chunks": cfg.cache_chunks,
+            "serpentine": cfg.serpentine_groups,
+            "fuse_gates": cfg.fuse_gates,
+            "store": cfg.store,
+            "workers": workers if use_parallel else 1,
+            "execution": "parallel" if use_parallel else "serial",
+        }
         return MemQSimResult(
             num_qubits=n,
             store=store_like if cfg.cache_chunks else store,
@@ -244,6 +288,7 @@ class MemQSim:
             pipelined_seconds=pipelined,
             config_summary=cfg.summary(),
             telemetry=tel,
+            config_echo=config_echo,
         )
 
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):

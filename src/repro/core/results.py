@@ -38,6 +38,9 @@ class MemQSimResult:
     pipelined_seconds: float
     config_summary: str = ""
     telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
+    #: resolved-knob echo (workers, execution, serpentine, ...) — the
+    #: machine-readable companion to the ``config_summary`` string
+    config_echo: Dict[str, Any] = field(default_factory=dict)
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -270,6 +273,7 @@ class MemQSimResult:
         out: Dict[str, Any] = {
             "num_qubits": self.num_qubits,
             "config": self.config_summary,
+            "config_echo": dict(self.config_echo),
             "wall_seconds": self.wall_seconds,
             "serial_seconds": self.serial_seconds,
             "pipelined_seconds": self.pipelined_seconds,

@@ -178,11 +178,47 @@ class ChunkCache:
             self.cache_stats.write_hits += 1
         self._insert(chunk, data, dirty=True)
 
+    def load_batch(self, chunks, out: Optional[np.ndarray] = None) -> np.ndarray:
+        # Through the cache entry-by-entry so dirty copies stay coherent.
+        cs = self.inner.layout.chunk_size
+        if out is None:
+            out = np.empty(len(chunks) * cs, dtype=np.complex128)
+        for i, c in enumerate(chunks):
+            self.load(c, out=out[i * cs:(i + 1) * cs])
+        return out
+
+    def store_batch(self, chunks, data: np.ndarray) -> None:
+        cs = self.inner.layout.chunk_size
+        if data.shape[0] != len(chunks) * cs:
+            raise ValueError("buffer size mismatch")
+        for i, c in enumerate(chunks):
+            self.store(c, data[i * cs:(i + 1) * cs])
+
     def zero_chunk(self, chunk: int) -> None:
         entry = self._entries.pop(chunk, None)
         if entry is not None:
             self.tracker.free(CATEGORY, entry[0].nbytes)
         self.inner.zero_chunk(chunk)
+
+    # -- blob-level surface (parallel codec path) ----------------------------
+
+    def get_blob(self, chunk: int):
+        """Coherent raw-blob read: write back a dirty cached copy first."""
+        entry = self._entries.get(chunk)
+        if entry is not None and entry[1]:
+            self.inner.store(chunk, entry[0])
+            entry[1] = False
+            self.cache_stats.writebacks += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("cache.writeback").inc()
+        return self.inner.get_blob(chunk)
+
+    def put_blob(self, chunk: int, blob: bytes, **kwargs) -> None:
+        """Install an external blob, dropping any (now stale) cached copy."""
+        entry = self._entries.pop(chunk, None)
+        if entry is not None:
+            self.tracker.free(CATEGORY, entry[0].nbytes)
+        self.inner.put_blob(chunk, blob, **kwargs)
 
     def permute(self, perm) -> None:
         # Blob permutation happens on compressed data; flush first so the

@@ -162,6 +162,82 @@ class CompressedChunkStore:
             raise ValueError("buffer size mismatch")
         self._set_blob(chunk, self._compress(data))
 
+    # -- batch / external-codec entry points (worker pool) ---------------------
+
+    def load_batch(self, chunks, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decompress several chunks into one contiguous buffer.
+
+        Routes through :meth:`Compressor.decompress_batch` so a batching
+        codec (or a worker pool targeting the batch interface) handles the
+        whole request at once. Result layout: chunk ``chunks[i]`` occupies
+        ``out[i*cs:(i+1)*cs]``.
+        """
+        cs = self.layout.chunk_size
+        if out is None:
+            out = np.empty(len(chunks) * cs, dtype=np.complex128)
+        blobs = []
+        for c in chunks:
+            blob = self.get_blob(c)
+            if blob is None:
+                raise KeyError(f"chunk {c} not initialized")
+            blobs.append(blob)
+        t0 = time.perf_counter()
+        arrays = self.compressor.decompress_batch(blobs)
+        dt = time.perf_counter() - t0
+        for i, arr in enumerate(arrays):
+            if arr.shape[0] != cs:
+                raise ValueError(
+                    f"chunk {chunks[i]} decompressed to {arr.shape[0]} "
+                    f"amplitudes, expected {cs}"
+                )
+            out[i * cs:(i + 1) * cs] = arr
+            self.note_decompressed(arr.nbytes, 0.0)
+        self.stats.decompress_seconds += dt
+        return out
+
+    def store_batch(self, chunks, data: np.ndarray) -> None:
+        """Compress a contiguous buffer back into several chunk slots."""
+        cs = self.layout.chunk_size
+        if data.shape[0] != len(chunks) * cs:
+            raise ValueError("buffer size mismatch")
+        views = [data[i * cs:(i + 1) * cs] for i in range(len(chunks))]
+        t0 = time.perf_counter()
+        blobs = self.compressor.compress_batch(views)
+        dt = time.perf_counter() - t0
+        for c, blob in zip(chunks, blobs):
+            self.put_blob(c, blob, data_nbytes=cs * 16)
+        self.stats.compress_seconds += dt
+
+    def put_blob(self, chunk: int, blob: bytes, *, seconds: float = 0.0,
+                 data_nbytes: int = 0) -> None:
+        """Install an externally-compressed blob (codec worker-pool path).
+
+        Accounting mirrors :meth:`store`: ``seconds`` is the codec time the
+        producer measured (worker-side), ``data_nbytes`` the uncompressed
+        size the blob encodes.
+        """
+        self.stats.stores += 1
+        self.stats.compress_seconds += seconds
+        self.stats.bytes_compressed += len(blob)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("codec.compress.bytes_in").inc(data_nbytes)
+            tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
+            if seconds:
+                tel.metrics.histogram("codec.compress.seconds").observe(seconds)
+        self._set_blob(chunk, blob)
+
+    def note_decompressed(self, nbytes: int, seconds: float = 0.0) -> None:
+        """Account a decompression performed outside :meth:`load` (workers)."""
+        self.stats.loads += 1
+        self.stats.decompress_seconds += seconds
+        self.stats.bytes_decompressed += nbytes
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("codec.decompress.bytes").inc(nbytes)
+            if seconds:
+                tel.metrics.histogram("codec.decompress.seconds").observe(seconds)
+
     def _compress(self, data: np.ndarray) -> bytes:
         t0 = time.perf_counter()
         blob = self.compressor.compress(data)

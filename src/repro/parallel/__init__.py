@@ -1,0 +1,43 @@
+"""repro.parallel — real concurrent chunk execution.
+
+The paper's online stage is *pipelined*: decompression, transfer, kernel,
+and recompression of independent chunk groups overlap. The base scheduler
+models that overlap analytically; this subsystem makes it real:
+
+* :class:`CodecWorkerPool` — chunk compress/decompress jobs on a
+  ``multiprocessing`` process pool (bytes or shared-memory payloads,
+  same-process fallback for ``workers=1`` and for platforms where spawning
+  fails);
+* :class:`ParallelStageScheduler` — double-buffered group passes: group
+  *k*'s recompression/store overlaps group *k+1*'s fetch/decompress while
+  preserving per-chunk read-modify-write order;
+* :func:`run_equivalence` — the parallel-vs-serial harness enforcing
+  bit-identical results (identical per-chunk blobs, lossy codecs included).
+
+Enable via ``MemQSimConfig(workers=N)`` / ``python -m repro run --workers N``
+(``0`` = empirical auto-selection, see :func:`auto_workers`).
+"""
+
+from .engine import ParallelStageScheduler
+from .equivalence import EquivalenceReport, compare_stores, run_equivalence
+from .pool import (
+    DEFAULT_SHM_THRESHOLD,
+    CodecJob,
+    CodecResult,
+    CodecWorkerPool,
+    PoolStats,
+    auto_workers,
+)
+
+__all__ = [
+    "CodecWorkerPool",
+    "CodecJob",
+    "CodecResult",
+    "PoolStats",
+    "auto_workers",
+    "DEFAULT_SHM_THRESHOLD",
+    "ParallelStageScheduler",
+    "EquivalenceReport",
+    "run_equivalence",
+    "compare_stores",
+]

@@ -18,9 +18,11 @@ step (5)): decompress, update with the same kernels on the host, recompress
 — recorded as CPU_UPDATE work so the overlap model can place it on idle
 cores. :class:`PermutationStage`s relabel compressed blobs directly.
 
-The scheduler executes serially (this machine has one core and no GPU) and
-the pipelined makespan is computed afterwards by
-:class:`repro.device.timeline.PipelineModel` from the measured events.
+This base scheduler executes serially and the pipelined makespan is
+computed afterwards by :class:`repro.device.timeline.PipelineModel` from
+the measured events. :class:`repro.parallel.ParallelStageScheduler`
+subclasses it to run the same group passes with *real* concurrency: codec
+work on a process pool, double-buffered prefetch, asynchronous writeback.
 """
 
 from __future__ import annotations
@@ -257,15 +259,16 @@ class StageScheduler:
 
     # -- gate stages -------------------------------------------------------------------
 
-    def _run_gate_stage(self, stage: GateStage, si: int = -1) -> None:
-        placement = self.layout.chunk_groups(stage.group_qubits)
-        group_size = self.layout.chunk_size << len(placement.group_qubits)
-        cs = self.layout.chunk_size
-        n_groups = len(placement.groups)
-        cpu_every = 0
-        if self.cpu_offload_fraction > 0.0:
-            cpu_every = max(1, round(1.0 / self.cpu_offload_fraction)) \
-                if self.cpu_offload_fraction < 1.0 else 1
+    def _cpu_every(self) -> int:
+        """Every how many groups the CPU path takes one (0 = never)."""
+        if self.cpu_offload_fraction <= 0.0:
+            return 0
+        if self.cpu_offload_fraction >= 1.0:
+            return 1
+        return max(1, round(1.0 / self.cpu_offload_fraction))
+
+    def _group_order(self, placement: GroupPlacement) -> List[Tuple[int, Tuple[int, ...]]]:
+        """The stage's (group id, members) sweep order (serpentine-aware)."""
         order = list(enumerate(placement.groups))
         if self.serpentine:
             # Alternate sweep direction per stage: the chunks touched last
@@ -274,6 +277,13 @@ class StageScheduler:
             self._stage_parity ^= 1
             if self._stage_parity == 0:
                 order.reverse()
+        return order
+
+    def _run_gate_stage(self, stage: GateStage, si: int = -1) -> None:
+        placement = self.layout.chunk_groups(stage.group_qubits)
+        group_size = self.layout.chunk_size << len(placement.group_qubits)
+        cpu_every = self._cpu_every()
+        order = self._group_order(placement)
         for gi, members in order:
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
             gates = self._gates_for_group(stage, placement, members[0])
@@ -319,22 +329,38 @@ class StageScheduler:
                                            chunk_id=chunk):
                 self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
 
+    def _device_update(self, gi: int, gates: List[Gate],
+                       view: np.ndarray) -> None:
+        """Upload -> kernels -> download for one already-staged group."""
+        executor = self._executor_for(gi)
+        dev = executor.alloc(view.shape[0])
+        try:
+            executor.upload(view, dev, gi)
+            if gates:
+                executor.run_gates(dev, gates, gi)
+                self.stats.gates_applied += len(gates)
+            executor.download(dev, view, gi)
+        finally:
+            executor.free(dev)
+
+    def _cpu_update(self, gi: int, gates: List[Gate],
+                    view: np.ndarray) -> None:
+        """Host-side kernel path for one already-staged group."""
+        with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
+                                       chunk=gi, nbytes=view.nbytes,
+                                       gates=len(gates)):
+            for g in gates:
+                apply_circuit_gate(view, g)
+        self.stats.gates_applied += len(gates)
+        self.stats.cpu_group_passes += 1
+
     def _run_group_device(self, gi: int, members: Tuple[int, ...],
                           gates: List[Gate], group_size: int) -> None:
-        executor = self._executor_for(gi)
         buf = self.pool.acquire()
         try:
             view = buf[:group_size]
             self._load_group(gi, members, view)
-            dev = executor.alloc(group_size)
-            try:
-                executor.upload(view, dev, gi)
-                if gates:
-                    executor.run_gates(dev, gates, gi)
-                    self.stats.gates_applied += len(gates)
-                executor.download(dev, view, gi)
-            finally:
-                executor.free(dev)
+            self._device_update(gi, gates, view)
             self._store_group(gi, members, view)
         finally:
             self.pool.release(buf)
@@ -345,13 +371,7 @@ class StageScheduler:
         try:
             view = buf[:group_size]
             self._load_group(gi, members, view)
-            with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
-                                           chunk=gi, nbytes=group_size * 16,
-                                           gates=len(gates)):
-                for g in gates:
-                    apply_circuit_gate(view, g)
-            self.stats.gates_applied += len(gates)
-            self.stats.cpu_group_passes += 1
+            self._cpu_update(gi, gates, view)
             self._store_group(gi, members, view)
         finally:
             self.pool.release(buf)

@@ -213,8 +213,11 @@ class MetricsRegistry:
             "codec.compress.bytes_in", "codec.compress.bytes_out",
             "codec.decompress.bytes",
             "pool.acquire.count",
+            "parallel.jobs", "parallel.jobs.inline", "parallel.fallback",
         ):
             self.counter(name)
+        for name in ("parallel.queue_depth", "parallel.worker.utilization"):
+            self.gauge(name)
         for name in (
             "codec.compress.seconds", "codec.decompress.seconds",
             "transfer.h2d.seconds", "transfer.d2h.seconds",

@@ -110,6 +110,9 @@ class Tracer:
     def __init__(self, process_name: str = "repro"):
         self.process_name = process_name
         self._epoch = time.perf_counter()
+        #: wall-clock time of the epoch — lets spans measured in *other*
+        #: processes (codec workers) be placed on this tracer's timeline.
+        self.epoch_wall = time.time()
         self.spans: List[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -137,6 +140,29 @@ class Tracer:
     def instant(self, name: str, **args) -> Span:
         """Zero-duration marker (rendered as a tick in trace viewers)."""
         return self.record(name, 0.0, **args)
+
+    def record_at(self, name: str, duration: float, *,
+                  wall_start: Optional[float] = None,
+                  start: Optional[float] = None,
+                  tid: Optional[int] = None, **args) -> Span:
+        """Log a span measured elsewhere, placed at an explicit start time.
+
+        Codec worker processes time their own jobs; the parent merges them
+        into one coherent Chrome trace by passing the worker's wall-clock
+        start (``wall_start`` = ``time.time()`` at job start), which is
+        mapped onto this tracer's epoch. ``tid`` puts the span on its own
+        lane (one per worker) in trace viewers.
+        """
+        if wall_start is not None:
+            start = wall_start - self.epoch_wall
+        elif start is None:
+            start = time.perf_counter() - self._epoch - duration
+        sp = Span(name, start=max(0.0, start),
+                  duration=max(0.0, duration), args=args,
+                  tid=self._tid() if tid is None else tid)
+        with self._lock:
+            self.spans.append(sp)
+        return sp
 
     # -- span lifecycle (used by _SpanCtx) ----------------------------------------
 
@@ -249,11 +275,15 @@ class NullTracer:
 
     enabled = False
     spans: Tuple[Span, ...] = ()
+    epoch_wall = 0.0
 
     def span(self, name: str, **args) -> _NullSpanCtx:
         return _NULL_SPAN_CTX
 
     def record(self, name: str, duration: float, **args) -> None:
+        return None
+
+    def record_at(self, name: str, duration: float, **kwargs) -> None:
         return None
 
     def instant(self, name: str, **args) -> None:

@@ -1,0 +1,46 @@
+"""Every registered compressor must survive pickling.
+
+The codec worker pool ships the configured compressor to worker processes
+via pickle at pool start-up; an unpicklable codec silently forces the pool
+into its serial fallback. This audit keeps the whole registry shippable.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compression import available_compressors, get_compressor
+
+LOSSY_OPTS = {
+    "szlike": {"error_bound": 1e-6},
+    "adaptive": {"error_bound": 1e-6},
+}
+
+
+def _chunk(n=128, seed=7):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    return (v / np.linalg.norm(v)).astype(np.complex128)
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_compressor_pickle_roundtrip(name):
+    comp = get_compressor(name, **LOSSY_OPTS.get(name, {}))
+    clone = pickle.loads(pickle.dumps(comp))
+    data = _chunk()
+    blob = comp.compress(data)
+    # The clone must produce bit-identical blobs (pool determinism contract)
+    assert clone.compress(data) == blob
+    np.testing.assert_array_equal(clone.decompress(blob),
+                                  comp.decompress(blob))
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_pickle_survives_prior_use(name):
+    """Pickling after compress/decompress calls (runtime state) still works."""
+    comp = get_compressor(name, **LOSSY_OPTS.get(name, {}))
+    data = _chunk(seed=11)
+    comp.decompress(comp.compress(data))
+    clone = pickle.loads(pickle.dumps(comp))
+    assert clone.compress(data) == comp.compress(data)

@@ -161,3 +161,52 @@ class TestLossyStore:
         back = store.to_statevector()
         err = np.max(np.maximum(np.abs((v - back).real), np.abs((v - back).imag)))
         assert err <= 1e-5 * (1 + 1e-9)
+
+
+class TestBlobAndBatchAPI:
+    """Blob-level and batch entry points used by the parallel codec pool."""
+
+    def test_load_batch_matches_individual_loads(self, random_state_fn):
+        store, _ = make_store()
+        store.init_from_statevector(random_state_fn(6, seed=1))
+        chunks = [0, 3, 5]
+        cs = store.layout.chunk_size
+        batch = store.load_batch(chunks)
+        for i, c in enumerate(chunks):
+            np.testing.assert_array_equal(batch[i * cs:(i + 1) * cs],
+                                          store.load(c))
+
+    def test_store_batch_roundtrip(self, random_state_fn):
+        store, _ = make_store()
+        store.init_zero_state()
+        v = random_state_fn(6, seed=2)
+        cs = store.layout.chunk_size
+        store.store_batch([0, 1, 2, 3], v[: 4 * cs].copy())
+        for c in range(4):
+            np.testing.assert_array_equal(store.load(c),
+                                          v[c * cs:(c + 1) * cs])
+
+    def test_store_batch_validates_chunk_size(self):
+        store, _ = make_store()
+        store.init_zero_state()
+        with pytest.raises(ValueError):
+            store.store_batch([0], np.zeros(3, dtype=np.complex128))
+
+    def test_put_get_blob_roundtrip_and_accounting(self, random_state_fn):
+        store, _ = make_store()
+        v = random_state_fn(6, seed=3)
+        store.init_from_statevector(v)
+        blob = store.get_blob(2)
+        assert blob == store.compressor.compress(store.load(2))
+        before = store.stats.stores
+        store.put_blob(2, blob, seconds=0.01, data_nbytes=128)
+        assert store.stats.stores == before + 1
+        np.testing.assert_array_equal(store.load(2), v[2 * 8:3 * 8])
+
+    def test_note_decompressed_counts_loads(self):
+        store, _ = make_store()
+        store.init_zero_state()
+        before = store.stats.loads
+        store.note_decompressed(256, seconds=0.005)
+        assert store.stats.loads == before + 1
+        assert store.stats.bytes_decompressed >= 256

@@ -1,0 +1,66 @@
+"""CLI wiring for the parallel subsystem: --workers/--execution/--serpentine."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserDefaults:
+    def test_run_parallel_defaults(self):
+        args = build_parser().parse_args(["run", "qft"])
+        assert args.workers == 0  # 0 = auto
+        assert args.execution == "auto"
+        assert args.serpentine is True
+
+    def test_trace_has_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "qft", "--workers", "2", "--no-serpentine"])
+        assert args.workers == 2
+        assert args.serpentine is False
+
+    def test_execution_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "qft", "--execution", "warp"])
+
+
+class TestRunCommand:
+    def test_run_with_workers(self, capsys):
+        rc = main(["run", "ghz", "-n", "8", "--chunk-qubits", "4",
+                   "--compressor", "zlib", "--workers", "2",
+                   "--execution", "parallel"])
+        assert rc == 0
+        assert "MEMQSim result" in capsys.readouterr().out
+
+    def test_json_echoes_resolved_config(self, capsys):
+        rc = main(["run", "ghz", "-n", "8", "--chunk-qubits", "4",
+                   "--compressor", "zlib", "--workers", "2",
+                   "--execution", "parallel", "--no-serpentine", "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        echo = payload["config_echo"]
+        assert echo["workers"] == 2
+        assert echo["execution"] == "parallel"
+        assert echo["serpentine"] is False
+        assert echo["compressor"] == "zlib"
+
+    def test_json_serial_echo(self, capsys):
+        rc = main(["run", "ghz", "-n", "8", "--chunk-qubits", "4",
+                   "--compressor", "zlib", "--workers", "1", "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        echo = json.loads(out[out.index("{"):])["config_echo"]
+        assert echo["workers"] == 1
+        assert echo["execution"] == "serial"
+        assert echo["serpentine"] is True
+
+    def test_trace_with_workers(self, tmp_path, capsys):
+        out = tmp_path / "t.trace.json"
+        rc = main(["trace", "ghz", "-n", "8", "--chunk-qubits", "4",
+                   "--compressor", "zlib", "--workers", "2",
+                   "--execution", "parallel", "--trace-out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]

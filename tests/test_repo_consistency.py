@@ -78,6 +78,7 @@ class TestPublicSurface:
         "repro.memory",
         "repro.device",
         "repro.pipeline",
+        "repro.parallel",
         "repro.core",
         "repro.observables",
         "repro.analysis",
