@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_seconds
 from repro.circuits import Circuit, get_workload, random_circuit
 from repro.core import MemQSim
@@ -120,6 +122,12 @@ def test_multidevice_scaling(benchmark, devices):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(permutation_table().render())
-    print(fusion_table().render())
-    print(multidevice_table().render())
+    t0 = time.perf_counter()
+    tables = [permutation_table(), fusion_table(), multidevice_table()]
+    wall = time.perf_counter() - t0
+    for t in tables:
+        print(t.render())
+    emit_result("A6", title=__doc__.splitlines()[0],
+                params={"num_qubits": N},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=tables)

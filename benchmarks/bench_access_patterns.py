@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner
+import time
+
+from common import emit_result, print_banner, seconds
 from repro.analysis import Table
 from repro.circuits import WORKLOADS as WORKLOAD_REGISTRY
 from repro.circuits import get_workload, qubit_interaction_graph
@@ -79,6 +81,14 @@ def test_access_pattern_ordering(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("fewer group passes per gate = friendlier access pattern for the")
     print("compressed chunk store (diagonals & permutations are free-ish).")
+    emit_result("A4", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "chunk_qubits": CHUNK,
+                        "max_group": T_MAX},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

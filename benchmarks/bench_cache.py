@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_bytes, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -85,7 +87,15 @@ def test_full_cache_eliminates_rereads(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("MRU retains a stable subset under cyclic sweeps; LRU thrashes.")
     print("Write-back lets consecutive stages touch a chunk with one codec")
     print("round-trip instead of one per stage.")
+    emit_result("A7", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "chunk_qubits": CHUNK,
+                        "workload": WORKLOAD},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

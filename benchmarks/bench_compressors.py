@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import print_banner
+import time
+
+from common import emit_result, print_banner, seconds
 from repro.analysis import Table
 from repro.circuits import get_workload
 from repro.compression import evaluate_compressor, get_compressor
@@ -104,4 +106,11 @@ def test_codec_ordering_claims(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
+    emit_result("A2", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "workloads": WORKLOADS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

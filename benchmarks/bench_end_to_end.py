@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import bench_telemetry, print_banner, tight_config
+import time
+
+from common import bench_telemetry, emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, compare_states, format_bytes, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -87,4 +89,11 @@ def test_lossless_exactness_end_to_end(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
+    emit_result("A3", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "workloads": WORKLOADS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

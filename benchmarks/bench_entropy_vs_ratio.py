@@ -16,7 +16,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import print_banner
+import time
+
+from common import emit_result, print_banner, seconds
 from repro.analysis import Table
 from repro.circuits import WORKLOADS, get_workload
 from repro.compression import get_compressor
@@ -77,7 +79,14 @@ def test_entropy_anticorrelates_with_ratio(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("low entanglement  => redundant amplitudes => high ratio;")
     print("Page-typical states (supremacy/qv/vqe) are incompressible —")
     print("the first-principles reason behind experiment C1's split.")
+    emit_result("A8", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "error_bound": EB},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -78,6 +80,13 @@ def test_pipeline_overlap_exists(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("Gantt (qft, first 400 events; D=decompress H=h2d K=kernel D2H=d C=compress U=cpu):")
     print(gantt_for("qft"))
+    emit_result("F1", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "workloads": WORKLOADS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_bytes
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -78,6 +80,14 @@ def test_structured_beats_dense(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("paper design goal: store compressed in host memory; buffers and")
     print("device arena are fixed-size; total << dense for structured states.")
+    emit_result("F2", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "workloads": WORKLOADS,
+                        "error_bounds": EBS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_bytes, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -85,6 +87,14 @@ def test_coarse_granularity_needs_bigger_buffers(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("paper: fine granularity -> lower ratio & higher overhead;")
     print("coarse granularity -> larger uncompressed working set.")
+    emit_result("A1", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "chunk_qubits": CHUNKS,
+                        "workload": WORKLOAD},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

@@ -6,24 +6,23 @@ worker counts. A codec-bound configuration (szlike on a dense QFT state,
 device sized to force chunk streaming) is where the paper's pipeline has
 the most to overlap, so it is where process workers pay off.
 
-Emits machine-readable ``results/BENCH_parallel.json`` (override with
-``--out``). ``REPRO_FULL=1`` runs the paper-scale 24-qubit configuration;
-the default size finishes in CI. Speedup is only expected on multi-core
-hosts — the JSON records ``cpu_count`` so single-core results are
-interpretable.
+Emits the canonical ``results/BENCH_P1.json`` bench record (full sweep
+under ``extra.runs``). ``REPRO_FULL=1`` runs the paper-scale 24-qubit
+configuration; the default size finishes in CI. Speedup is only expected
+on multi-core hosts — the record's host fingerprint carries ``cpu_count``
+so single-core results are interpretable.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
-from common import FULL, bench_telemetry, print_banner, tight_config
+from common import FULL, bench_telemetry, emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -31,8 +30,6 @@ from repro.core import MemQSim
 N = 24 if FULL else 13
 CHUNK = 12 if FULL else 7
 WORKLOAD = "qft"
-DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
-                           "results", "BENCH_parallel.json")
 
 
 def _config(workers: int, execution: str):
@@ -130,15 +127,26 @@ if __name__ == "__main__":
     ap.add_argument("-n", "--qubits", type=int, default=N)
     ap.add_argument("--workers", type=int, nargs="*", default=None,
                     help="parallel worker counts to sweep (default 1 2 4 N)")
-    ap.add_argument("--out", default=DEFAULT_OUT,
-                    help="where to write BENCH_parallel.json")
     args = ap.parse_args()
 
     print_banner(__doc__.splitlines()[0])
     report = generate_report(args.qubits, args.workers)
-    print(render_table(report).render())
-    out = os.path.abspath(args.out)
-    os.makedirs(os.path.dirname(out), exist_ok=True)
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"\nwrote {out}")
+    table = render_table(report)
+    print(table.render())
+    parallel = [r for r in report["runs"] if r["execution"] == "parallel"]
+    best = min(parallel, key=lambda r: r["wall_seconds"])
+    emit_result("P1", title=__doc__.splitlines()[0],
+                params={"num_qubits": report["num_qubits"],
+                        "chunk_qubits": CHUNK, "workload": WORKLOAD,
+                        "worker_counts": [r["workers"] for r in parallel]},
+                metrics={
+                    "wall_seconds_serial":
+                        seconds(report["runs"][0]["wall_seconds"]),
+                    "wall_seconds_parallel_best":
+                        seconds(best["wall_seconds"]),
+                    "best_speedup": {
+                        "values": [best["speedup_vs_serial"]],
+                        "direction": "higher"},
+                },
+                tables=[table],
+                extra={"runs": report["runs"]})

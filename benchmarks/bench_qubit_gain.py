@@ -23,7 +23,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -99,8 +101,17 @@ def test_average_gain_positive(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
+    t0 = time.perf_counter()
     table, gain = generate_table()
+    wall = time.perf_counter() - t0
     print(table.render())
+    emit_result("C1", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "error_bound": EB,
+                        "workloads": WORKLOADS},
+                metrics={"wall_seconds": seconds(wall),
+                         "avg_qubit_gain": {"values": [float(gain)],
+                                            "direction": "higher"}},
+                tables=[table])
     print(f"paper claim: ~5 extra qubits on average; measured structured-suite")
     print(f"average {gain:.1f} (random-state workloads contribute ~0, as in Wu")
     print("et al.). Slowdown here reflects the numpy 'GPU' running at codec")

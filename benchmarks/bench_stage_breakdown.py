@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_banner, tight_config
+import time
+
+from common import emit_result, print_banner, seconds, tight_config
 from repro.analysis import Table, format_seconds
 from repro.circuits import get_workload
 from repro.core import MemQSim
@@ -94,11 +96,26 @@ def test_offload_advice_is_actionable(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(breakdown_table().render())
-    print(offload_table().render())
+    t0 = time.perf_counter()
+    tables = [breakdown_table(), offload_table()]
+    wall = time.perf_counter() - t0
+    for t in tables:
+        print(t.render())
     res = run_one(0.0)
     advice = advise_from_timeline(res.timeline, idle_cores=3)
     print(f"offload advice from measured profile (3 idle cores): "
           f"f* = {advice.fraction:.2f} "
           f"(gpu path {advice.gpu_path_seconds_per_group * 1e3:.2f} ms/group, "
           f"cpu path {advice.cpu_path_seconds_per_group * 1e3:.2f} ms/group)")
+    emit_result("A5", title=__doc__.splitlines()[0],
+                params={"num_qubits": N, "chunk_qubits": CHUNK,
+                        "workload": WORKLOAD, "fractions": FRACTIONS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=tables,
+                extra={"offload_advice": {
+                    "fraction": advice.fraction,
+                    "gpu_path_seconds_per_group":
+                        advice.gpu_path_seconds_per_group,
+                    "cpu_path_seconds_per_group":
+                        advice.cpu_path_seconds_per_group,
+                }})

@@ -21,7 +21,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from common import FULL, print_banner, state_payload
+import time
+
+from common import FULL, emit_result, print_banner, seconds, state_payload
 from repro.analysis import Table, format_seconds
 from repro.device import make_strategy
 
@@ -119,5 +121,12 @@ def test_table1_shape(benchmark):
 
 if __name__ == "__main__":
     print_banner(__doc__.splitlines()[0])
-    print(generate_table().render())
+    t0 = time.perf_counter()
+    table = generate_table()
+    wall = time.perf_counter() - t0
+    print(table.render())
     print("paper shape: async/sync ~ 870x at n=20; buffer/sync ~ 1.03x")
+    emit_result("T1", title=__doc__.splitlines()[0],
+                params={"table_qubits": TABLE_QUBITS},
+                metrics={"wall_seconds": seconds(wall)},
+                tables=[table])

@@ -6,7 +6,10 @@ Every bench file follows the same pattern:
   at CI-friendly sizes;
 * ``python benchmarks/bench_<exp>.py`` regenerates the corresponding paper
   table/figure at full size and prints it (set ``REPRO_FULL=1`` to run the
-  paper's exact qubit counts where that is tractable on one machine).
+  paper's exact qubit counts where that is tractable on one machine), and
+  emits the canonical ``results/BENCH_<id>.json`` record via
+  :func:`emit_result` so ``python -m repro.bench check`` can gate the
+  numbers against committed baselines.
 
 EXPERIMENTS.md records the paper-vs-measured comparison for each.
 """
@@ -81,3 +84,43 @@ def print_banner(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+#: where BENCH_<id>.json records land (repo's results/ unless overridden)
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "results"))
+
+
+def seconds(*values):
+    """A ``repro.bench`` metric entry for timing repeats (lower is better).
+
+    The ``s`` unit matters: the comparator applies an absolute noise floor
+    to second-unit metrics so sub-millisecond jitter never gates.
+    """
+    from repro.bench import metric
+
+    return metric(list(values), unit="s", direction="lower")
+
+
+def emit_result(experiment, *, title="", params=None, metrics=None,
+                tables=None, extra=None):
+    """Write one canonical ``results/BENCH_<experiment>.json`` record.
+
+    Thin wrapper over :func:`repro.bench.make_result` +
+    :func:`repro.bench.write_result` that fills in the results directory
+    (override with ``REPRO_RESULTS_DIR``) and prints where the record
+    went. ``metrics`` values may be bare numbers / repeat lists (wrapped
+    as lower-is-better) or full :func:`repro.bench.metric` entries;
+    ``tables`` may hold :class:`repro.analysis.Table` objects directly.
+    """
+    from repro.bench import make_result, result_path, write_result
+
+    params = dict(params or {})
+    params.setdefault("full", FULL)
+    doc = make_result(experiment, title=title, params=params,
+                      metrics=metrics, tables=tables, extra=extra)
+    path = write_result(doc, result_path(RESULTS_DIR, experiment))
+    print(f"bench record written: {path}")
+    return path

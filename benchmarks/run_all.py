@@ -37,8 +37,8 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exp_id: str, module_name: str) -> str:
-    import importlib
+def run_experiment(exp_id: str, module_name: str):
+    """Returns ``(section text, wall seconds, ok)`` for one experiment."""
     import runpy
 
     buf = io.StringIO()
@@ -46,10 +46,14 @@ def run_experiment(exp_id: str, module_name: str) -> str:
     try:
         with redirect_stdout(buf):
             runpy.run_module(module_name, run_name="__main__")
-        status = f"done in {time.perf_counter() - t0:.1f}s"
+        ok = True
+        status = "done"
     except Exception as exc:  # keep going; report at the end
+        ok = False
         status = f"FAILED: {type(exc).__name__}: {exc}"
-    return f"[{exp_id}] {status}\n" + buf.getvalue()
+    wall = time.perf_counter() - t0
+    section = f"[{exp_id}] {status} in {wall:.1f}s\n" + buf.getvalue()
+    return section, wall, ok
 
 
 def main(argv=None) -> int:
@@ -62,10 +66,15 @@ def main(argv=None) -> int:
 
     selected = list(EXPERIMENTS)
     if args.only:
-        selected = [e.strip().upper() for e in args.only.split(",")]
+        selected = [e.strip().upper() for e in args.only.split(",") if e.strip()]
         unknown = [e for e in selected if e not in EXPERIMENTS]
         if unknown:
-            raise SystemExit(f"unknown experiment ids: {unknown}")
+            raise SystemExit(
+                f"unknown experiment ids: {', '.join(unknown)} "
+                f"(valid: {', '.join(EXPERIMENTS)})")
+        if not selected:
+            raise SystemExit(
+                f"--only selected nothing (valid: {', '.join(EXPERIMENTS)})")
     if args.skip_slow:
         selected = [e for e in selected if EXPERIMENTS[e][1] == "fast"]
 
@@ -78,18 +87,27 @@ def main(argv=None) -> int:
             f"experiments_{time.strftime('%Y%m%d_%H%M%S')}.txt",
         )
 
-    sections = []
+    sections, timings = [], []
     for exp_id in selected:
         module_name, _ = EXPERIMENTS[exp_id]
         print(f"running {exp_id} ({module_name}) ...", flush=True)
-        sections.append(run_experiment(exp_id, module_name))
+        section, wall, ok = run_experiment(exp_id, module_name)
+        sections.append(section)
+        timings.append((exp_id, wall, ok))
+
+    summary = ["per-experiment wall time:"]
+    for exp_id, wall, ok in timings:
+        summary.append(f"  {exp_id:<4} {wall:>8.1f}s  "
+                       f"{'ok' if ok else 'FAILED'}")
+    summary.append(f"  {'all':<4} {sum(w for _, w, _ in timings):>8.1f}s")
+    sections.append("\n".join(summary))
 
     report = "\n\n".join(sections)
     with open(out_path, "w") as fh:
         fh.write(report)
     print(report)
     print(f"\nwritten to {out_path}")
-    failed = [s.splitlines()[0] for s in sections if "FAILED" in s.splitlines()[0]]
+    failed = [exp_id for exp_id, _, ok in timings if not ok]
     if failed:
         print("failures:", *failed, sep="\n  ")
         return 1

@@ -1,10 +1,13 @@
 """Analysis helpers: fidelity propagation, reporting, sweeps."""
 
 from .fidelity import GrowthPoint, StateComparison, compare_states, error_growth_profile
+from .htmlreport import render_html, write_html
 from .report import Table, format_bytes, format_seconds
 from .sweeps import SweepRecord, dense_reference, sweep
 
 __all__ = [
+    "render_html",
+    "write_html",
     "StateComparison",
     "compare_states",
     "GrowthPoint",

@@ -1,0 +1,168 @@
+"""``python -m repro.bench`` — the benchmark baseline / regression CLI.
+
+Commands:
+
+* ``check`` — compare every ``results/BENCH_*.json`` against its committed
+  baseline in ``results/baselines/``; exits nonzero listing each metric
+  that regressed beyond tolerance. ``--warn-only`` keeps regressions as
+  annotations (for unlike CI hosts) but still hard-fails on schema errors.
+* ``update`` — promote the current records to committed baselines.
+* ``report`` — render the full comparison as a table without gating.
+
+Examples::
+
+    python -m repro.bench check
+    python -m repro.bench check --only P1,T1 --tolerance 0.4
+    python -m repro.bench check --warn-only          # CI on shared runners
+    python -m repro.bench update --only P1
+    python -m repro.bench report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.report import Table
+from .baseline import (
+    DEFAULT_BASELINE_DIR,
+    DEFAULT_RESULTS_DIR,
+    CompareReport,
+    compare_directories,
+    update_baselines,
+)
+from .schema import DEFAULT_TOLERANCE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="benchmark baselines and the perf regression gate",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--results", default=DEFAULT_RESULTS_DIR,
+                        help="directory holding live BENCH_*.json records")
+        sp.add_argument("--baselines", default=DEFAULT_BASELINE_DIR,
+                        help="directory holding committed baselines")
+        sp.add_argument("--only", help="comma-separated experiment ids")
+
+    checkp = sub.add_parser("check", help="gate current results vs baselines")
+    common(checkp)
+    checkp.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="default relative tolerance for metrics that "
+                             "do not declare one")
+    checkp.add_argument("--warn-only", action="store_true",
+                        help="report regressions without failing (schema "
+                             "errors still fail)")
+
+    up = sub.add_parser("update", help="promote current results to baselines")
+    common(up)
+
+    rep = sub.add_parser("report", help="print the full comparison table")
+    common(rep)
+    rep.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    return p
+
+
+def _only(args) -> Optional[List[str]]:
+    if not args.only:
+        return None
+    return [e.strip() for e in args.only.split(",") if e.strip()]
+
+
+def _comparison_table(reports: List[CompareReport]) -> Table:
+    t = Table(["experiment", "metric", "baseline", "current", "change",
+               "status"], title="benchmark comparison vs committed baselines")
+    for rep in reports:
+        if not rep.metrics:
+            t.add(rep.experiment, "-", "-", "-", "-", rep.status)
+            continue
+        for m in rep.metrics:
+            change = ("-" if m.rel_change is None
+                      else f"{m.rel_change * 100:+.1f}%")
+            status = m.status
+            if m.status == "regression" and rep.host_mismatch:
+                status = "regression (host-mismatch, advisory)"
+            t.add(rep.experiment, m.name,
+                  "-" if m.baseline is None else f"{m.baseline:g}",
+                  "-" if m.current is None else f"{m.current:g}",
+                  change, status)
+    return t
+
+
+def _cmd_check(args) -> int:
+    reports = compare_directories(args.results, args.baselines,
+                                  default_tolerance=args.tolerance,
+                                  only=_only(args))
+    if not reports:
+        print(f"no BENCH_*.json records found in {args.results}")
+        print("run `python benchmarks/run_all.py` (or any bench module) "
+              "first")
+        return 1
+    print(_comparison_table(reports).render())
+    schema_errors = [r for r in reports if r.status == "schema-error"]
+    gating = [r for r in reports
+              if r.status == "regression" and not r.host_mismatch]
+    advisory = [r for r in reports
+                if r.status == "regression" and r.host_mismatch]
+    missing = [r for r in reports if r.status == "no-baseline"]
+
+    for r in schema_errors:
+        print(f"SCHEMA ERROR [{r.experiment}]:", *r.notes, sep="\n  ")
+    for r in missing:
+        print(f"note [{r.experiment}]: {r.notes[0]}")
+    for bucket, label in ((gating, "REGRESSION"), (advisory, "warning")):
+        for r in bucket:
+            for m in r.regressions:
+                print(f"{label} [{r.experiment}] {m.describe()}")
+
+    if schema_errors:
+        return 2
+    if gating and not args.warn_only:
+        return 1
+    if gating and args.warn_only:
+        print(f"(--warn-only: {sum(len(r.regressions) for r in gating)} "
+              f"regression(s) reported but not gating)")
+    ok = sum(1 for r in reports if r.status == "ok")
+    print(f"checked {len(reports)} experiment(s): {ok} ok, "
+          f"{len(gating) + len(advisory)} regressed, "
+          f"{len(missing)} without baseline")
+    return 0
+
+
+def _cmd_update(args) -> int:
+    written = update_baselines(args.results, args.baselines, only=_only(args))
+    if not written:
+        print(f"nothing to update: no BENCH_*.json in {args.results}")
+        return 1
+    for path in written:
+        print(f"baseline updated: {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    reports = compare_directories(args.results, args.baselines,
+                                  default_tolerance=args.tolerance,
+                                  only=_only(args))
+    if not reports:
+        print(f"no BENCH_*.json records found in {args.results}")
+        return 1
+    print(_comparison_table(reports).render())
+    for rep in reports:
+        print(rep.summary_line())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"check": _cmd_check, "update": _cmd_update,
+            "report": _cmd_report}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

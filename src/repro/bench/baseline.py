@@ -1,0 +1,226 @@
+"""Baseline store + the noise-aware regression comparator.
+
+The committed baselines live under ``results/baselines/BENCH_<id>.json``
+(same schema as the live records in ``results/``). :func:`compare_records`
+judges one live record against its baseline metric-by-metric:
+
+* both sides reduce to the **median of repeats** (one noisy run cannot
+  flip the gate);
+* the relative change is tested against the metric's **tolerance** band
+  (its own ``tolerance`` field, else the comparator default);
+* sub-noise absolute timing deltas (< ``min_abs_seconds`` on ``s``-unit
+  metrics) never count as regressions, whatever the relative change —
+  a 0.2 ms swing on a 0.5 ms metric is scheduler jitter, not a signal;
+* a **host-fingerprint mismatch** (different cpu_count / platform /
+  python) demotes regressions to warnings: numbers from unlike machines
+  are context, not a gate.
+
+``python -m repro.bench check`` turns the reports into an exit code.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .schema import (
+    DEFAULT_TOLERANCE,
+    load_result,
+    median,
+    result_path,
+    validate,
+)
+
+__all__ = [
+    "MetricComparison",
+    "CompareReport",
+    "compare_records",
+    "compare_directories",
+    "discover_results",
+    "update_baselines",
+    "DEFAULT_RESULTS_DIR",
+    "DEFAULT_BASELINE_DIR",
+    "MIN_ABS_SECONDS",
+]
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, os.pardir))
+DEFAULT_RESULTS_DIR = os.path.join(_REPO_ROOT, "results")
+DEFAULT_BASELINE_DIR = os.path.join(DEFAULT_RESULTS_DIR, "baselines")
+
+#: absolute floor for second-unit metrics: deltas below this are noise
+MIN_ABS_SECONDS = 5e-3
+
+#: host fingerprint keys that must match for a hard regression gate
+_HOST_KEYS = ("cpu_count", "platform", "python")
+
+
+@dataclass
+class MetricComparison:
+    """One metric's verdict."""
+
+    name: str
+    status: str  # ok | regression | improvement | new | missing
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    rel_change: Optional[float] = None  # signed, vs baseline
+    tolerance: float = DEFAULT_TOLERANCE
+    direction: str = "lower"
+    unit: str = ""
+
+    def describe(self) -> str:
+        if self.status in ("new", "missing"):
+            return f"{self.name}: {self.status}"
+        pct = (self.rel_change or 0.0) * 100.0
+        return (f"{self.name}: {self.baseline:g} -> {self.current:g} "
+                f"({pct:+.1f}%, tol ±{self.tolerance * 100:.0f}%, "
+                f"{self.direction} is better)")
+
+
+@dataclass
+class CompareReport:
+    """All metric verdicts for one experiment."""
+
+    experiment: str
+    status: str  # ok | regression | no-baseline | schema-error
+    metrics: List[MetricComparison] = field(default_factory=list)
+    host_mismatch: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [m for m in self.metrics if m.status == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricComparison]:
+        return [m for m in self.metrics if m.status == "improvement"]
+
+    def summary_line(self) -> str:
+        flags = []
+        if self.host_mismatch:
+            flags.append("host-mismatch")
+        if self.regressions:
+            flags.append(
+                "regressed: " + ", ".join(m.name for m in self.regressions))
+        if self.improvements:
+            flags.append(
+                "improved: " + ", ".join(m.name for m in self.improvements))
+        tail = f" ({'; '.join(flags)})" if flags else ""
+        return f"[{self.experiment}] {self.status}{tail}"
+
+
+def _hosts_match(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    return all(a.get(k) == b.get(k) for k in _HOST_KEYS)
+
+
+def compare_records(baseline: Optional[Dict[str, Any]],
+                    current: Dict[str, Any],
+                    default_tolerance: float = DEFAULT_TOLERANCE,
+                    min_abs_seconds: float = MIN_ABS_SECONDS) -> CompareReport:
+    """Judge one live record against its baseline record."""
+    exp = current.get("experiment", "?")
+    errors = validate(current)
+    if errors:
+        return CompareReport(exp, "schema-error", notes=errors)
+    if baseline is None:
+        return CompareReport(
+            exp, "no-baseline",
+            notes=["no committed baseline; run `python -m repro.bench "
+                   "update` to create one"])
+    base_errors = validate(baseline)
+    if base_errors:
+        return CompareReport(exp, "schema-error",
+                             notes=[f"baseline: {e}" for e in base_errors])
+
+    rep = CompareReport(exp, "ok")
+    rep.host_mismatch = not _hosts_match(
+        baseline.get("host", {}), current.get("host", {}))
+    if rep.host_mismatch:
+        rep.notes.append(
+            "host fingerprint differs from baseline — regressions are "
+            "advisory, not gating")
+
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        bm, cm = base_metrics.get(name), cur_metrics.get(name)
+        if bm is None:
+            rep.metrics.append(MetricComparison(name, "new"))
+            continue
+        if cm is None:
+            rep.metrics.append(MetricComparison(name, "missing"))
+            continue
+        direction = cm.get("direction", "lower")
+        tol = cm.get("tolerance")
+        if tol is None:
+            tol = bm.get("tolerance", default_tolerance)
+        b, c = median(bm["values"]), median(cm["values"])
+        mc = MetricComparison(name, "ok", baseline=b, current=c,
+                              tolerance=float(tol), direction=direction,
+                              unit=cm.get("unit", ""))
+        mc.rel_change = ((c - b) / abs(b)) if b else (0.0 if c == b else
+                                                     float("inf"))
+        worse = mc.rel_change > tol if direction == "lower" \
+            else mc.rel_change < -tol
+        better = mc.rel_change < -tol if direction == "lower" \
+            else mc.rel_change > tol
+        if mc.unit == "s" and abs(c - b) < min_abs_seconds:
+            worse = better = False  # sub-noise absolute delta
+        if worse:
+            mc.status = "regression"
+        elif better:
+            mc.status = "improvement"
+        rep.metrics.append(mc)
+    if any(m.status == "regression" for m in rep.metrics):
+        rep.status = "regression"
+    return rep
+
+
+def discover_results(results_dir: str = DEFAULT_RESULTS_DIR
+                     ) -> List[Tuple[str, str]]:
+    """``(experiment id, path)`` for every ``BENCH_*.json`` in a dir."""
+    out = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        exp = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        out.append((exp, path))
+    return out
+
+
+def compare_directories(results_dir: str = DEFAULT_RESULTS_DIR,
+                        baseline_dir: str = DEFAULT_BASELINE_DIR,
+                        default_tolerance: float = DEFAULT_TOLERANCE,
+                        only: Optional[List[str]] = None
+                        ) -> List[CompareReport]:
+    """Compare every live record against its committed baseline."""
+    reports = []
+    for exp, path in discover_results(results_dir):
+        if only and exp not in only:
+            continue
+        current = load_result(path)
+        bpath = result_path(baseline_dir, exp)
+        baseline = load_result(bpath) if os.path.exists(bpath) else None
+        reports.append(compare_records(baseline, current,
+                                       default_tolerance=default_tolerance))
+    return reports
+
+
+def update_baselines(results_dir: str = DEFAULT_RESULTS_DIR,
+                     baseline_dir: str = DEFAULT_BASELINE_DIR,
+                     only: Optional[List[str]] = None) -> List[str]:
+    """Promote live records to committed baselines (schema-checked)."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    written = []
+    for exp, path in discover_results(results_dir):
+        if only and exp not in only:
+            continue
+        errors = validate(load_result(path))
+        if errors:
+            raise ValueError(f"{path}: refusing to baseline an invalid "
+                             f"record: {errors}")
+        dst = result_path(baseline_dir, exp)
+        shutil.copyfile(path, dst)
+        written.append(dst)
+    return written

@@ -1,0 +1,258 @@
+"""The canonical benchmark-record schema (``repro.bench/v1``).
+
+Every experiment in ``benchmarks/`` emits one ``results/BENCH_<id>.json``
+shaped like this, so benchmark runs from different PRs / machines are
+comparable records rather than throwaway stdout:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "experiment": "P1",
+      "title": "parallel codec scaling",
+      "created_unix": 1754500000.0,
+      "host": {"cpu_count": 8, "platform": "...", "python": "3.11.8",
+               "machine": "x86_64"},
+      "git_rev": "43acd33...",
+      "params": {"num_qubits": 13, "chunk_qubits": 7},
+      "metrics": {
+        "wall_seconds": {"values": [1.91, 1.88, 1.95], "unit": "s",
+                          "direction": "lower", "tolerance": 0.25}
+      },
+      "tables": [{"title": "...", "columns": ["..."], "rows": [["..."]]}],
+      "extra": {}
+    }
+
+``metrics`` carries *repeats* (``values``), never a single number — the
+baseline comparator works on medians so one noisy run cannot flip a gate.
+``direction`` says which way is better (``"lower"`` for timings, bytes;
+``"higher"`` for ratios, hit rates); ``tolerance`` is the relative noise
+band the regression gate allows for this metric.
+
+:func:`validate` is the hard gate: CI fails on schema errors even in
+warn-only mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "host_fingerprint",
+    "git_rev",
+    "metric",
+    "median",
+    "make_result",
+    "write_result",
+    "load_result",
+    "validate",
+    "result_path",
+]
+
+SCHEMA_VERSION = "repro.bench/v1"
+
+#: default relative tolerance for metrics that don't declare their own
+DEFAULT_TOLERANCE = 0.25
+
+_DIRECTIONS = ("lower", "higher")
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Identify the machine a record was measured on.
+
+    Benchmark numbers are only comparable on like hardware; the comparator
+    refuses to hard-fail across differing fingerprints.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def git_rev(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of the repeats — the comparator's noise-resistant statistic."""
+    vs = sorted(float(v) for v in values)
+    if not vs:
+        raise ValueError("median of no values")
+    mid = len(vs) // 2
+    if len(vs) % 2:
+        return vs[mid]
+    return 0.5 * (vs[mid - 1] + vs[mid])
+
+
+def metric(values, unit: str = "", direction: str = "lower",
+           tolerance: Optional[float] = None) -> Dict[str, Any]:
+    """Build one schema-shaped metric entry from repeat measurements."""
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"direction must be one of {_DIRECTIONS}")
+    if isinstance(values, (int, float)):
+        values = [values]
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("a metric needs at least one measurement")
+    entry: Dict[str, Any] = {
+        "values": vals,
+        "unit": unit,
+        "direction": direction,
+    }
+    if tolerance is not None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        entry["tolerance"] = float(tolerance)
+    return entry
+
+
+def _serialize_table(table) -> Dict[str, Any]:
+    """Accept a :class:`repro.analysis.Table` or an already-plain dict."""
+    if isinstance(table, dict):
+        return table
+    return {
+        "title": getattr(table, "title", ""),
+        "columns": list(table.columns),
+        "rows": [list(r) for r in table.rows],
+    }
+
+
+def make_result(experiment: str, *, title: str = "",
+                params: Optional[Dict[str, Any]] = None,
+                metrics: Optional[Dict[str, Any]] = None,
+                tables: Optional[Iterable[Any]] = None,
+                extra: Optional[Dict[str, Any]] = None,
+                repo_root: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble a schema-valid benchmark record (plain JSON-able dict).
+
+    ``metrics`` values may be :func:`metric` entries, bare numbers, or
+    lists of repeats — the latter two are wrapped with lower-is-better
+    defaults (right for timings; pass explicit entries for ratios).
+    """
+    if not experiment or not experiment.replace("_", "").isalnum():
+        raise ValueError(f"bad experiment id: {experiment!r}")
+    norm_metrics: Dict[str, Dict[str, Any]] = {}
+    for name, m in (metrics or {}).items():
+        if isinstance(m, dict):
+            norm_metrics[name] = metric(
+                m["values"], unit=m.get("unit", ""),
+                direction=m.get("direction", "lower"),
+                tolerance=m.get("tolerance"))
+        else:
+            norm_metrics[name] = metric(m)
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment": experiment,
+        "title": title,
+        "created_unix": time.time(),
+        "host": host_fingerprint(),
+        "git_rev": git_rev(repo_root),
+        "params": dict(params or {}),
+        "metrics": norm_metrics,
+        "tables": [_serialize_table(t) for t in (tables or [])],
+        "extra": dict(extra or {}),
+    }
+
+
+def result_path(results_dir: str, experiment: str) -> str:
+    return os.path.join(results_dir, f"BENCH_{experiment}.json")
+
+
+def write_result(doc: Dict[str, Any], path: str) -> str:
+    """Validate then write one record; returns the absolute path."""
+    errors = validate(doc)
+    if errors:
+        raise ValueError(f"refusing to write invalid bench record: {errors}")
+    path = os.path.abspath(path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+def load_result(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def validate(doc: Any) -> List[str]:
+    """Schema check; returns a list of human-readable errors (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"record is {type(doc).__name__}, expected object"]
+
+    def need(key: str, types, where: str = "") -> Any:
+        val = doc.get(key)
+        if val is None or not isinstance(val, types):
+            tn = types.__name__ if isinstance(types, type) else \
+                "/".join(t.__name__ for t in types)
+            errors.append(f"{where}{key}: missing or not {tn}")
+            return None
+        return val
+
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema: expected {SCHEMA_VERSION!r}, got {doc.get('schema')!r}")
+    need("experiment", str)
+    need("created_unix", (int, float))
+    host = need("host", dict)
+    if host is not None:
+        for k in ("cpu_count", "platform", "python"):
+            if k not in host:
+                errors.append(f"host.{k}: missing")
+    need("params", dict)
+    metrics = need("metrics", dict)
+    if metrics is not None:
+        for name, m in metrics.items():
+            if not isinstance(m, dict):
+                errors.append(f"metrics[{name}]: not an object")
+                continue
+            vals = m.get("values")
+            if (not isinstance(vals, list) or not vals
+                    or not all(isinstance(v, (int, float)) for v in vals)):
+                errors.append(f"metrics[{name}].values: need a non-empty "
+                              f"list of numbers")
+            if m.get("direction") not in _DIRECTIONS:
+                errors.append(f"metrics[{name}].direction: must be one of "
+                              f"{_DIRECTIONS}")
+            tol = m.get("tolerance")
+            if tol is not None and (not isinstance(tol, (int, float))
+                                    or tol < 0):
+                errors.append(f"metrics[{name}].tolerance: must be >= 0")
+    tables = doc.get("tables", [])
+    if not isinstance(tables, list):
+        errors.append("tables: not a list")
+    else:
+        for i, t in enumerate(tables):
+            if not isinstance(t, dict) or "columns" not in t or "rows" not in t:
+                errors.append(f"tables[{i}]: need columns + rows")
+    return errors
+
+
+if __name__ == "__main__":  # tiny self-check: validate files given as args
+    bad = 0
+    for p in sys.argv[1:]:
+        errs = validate(load_result(p))
+        print(f"{p}: {'ok' if not errs else errs}")
+        bad += bool(errs)
+    sys.exit(1 if bad else 0)

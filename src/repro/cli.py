@@ -11,6 +11,9 @@ Commands:
 * ``plan`` — show the offline stage plan for a workload at a given layout.
 * ``trace`` — run a workload with full telemetry and export the pipeline
   spans as a Chrome-trace / Perfetto JSON file plus a metrics snapshot.
+* ``report`` — run a workload with telemetry + resource monitoring forced
+  on and render a self-contained HTML run report (stage timeline, memory
+  curve, compression table — no external assets, opens from ``file://``).
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro compressors --evaluate qft -n 12
     python -m repro plan grover -n 12 --chunk-qubits 6
     python -m repro trace qft -n 12 --trace-out qft.trace.json
+    python -m repro report qft -n 12 -o qft.report.html
 """
 
 from __future__ import annotations
@@ -112,6 +116,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(tracep)
     tracep.add_argument("--top", type=int, default=10,
                         help="rows in the printed span summary")
+
+    repp = sub.add_parser(
+        "report",
+        help="run a workload and render a self-contained HTML run report")
+    repp.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    repp.add_argument("-n", "--qubits", type=int, default=12)
+    repp.add_argument("--compressor", default="szlike")
+    repp.add_argument("--error-bound", type=float, default=1e-6)
+    repp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    repp.add_argument("--transfer", default="sync",
+                      choices=["sync", "async", "buffer"])
+    repp.add_argument("--cache-chunks", type=int, default=0)
+    repp.add_argument("--offload", type=float, default=0.0)
+    repp.add_argument("--device-mb", type=float, default=256.0)
+    _add_parallel_args(repp)
+    repp.add_argument("--monitor-interval", type=float, default=5.0,
+                      metavar="MS",
+                      help="resource sampling period (default 5; the "
+                           "monitor is always on for reports)")
+    repp.add_argument("-o", "--out", metavar="FILE",
+                      help="output path (default <workload>.report.html)")
+    repp.add_argument("--title", help="report title")
     return p
 
 
@@ -129,6 +155,13 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--monitor", action="store_true",
+                   help="sample RSS / device-arena / cache / codec gauges "
+                        "on a background thread; the time-series lands in "
+                        "the trace (counter tracks) and the result JSON "
+                        "(resource_timeline)")
+    p.add_argument("--monitor-interval", type=float, default=20.0,
+                   metavar="MS", help="monitor sampling period (default 20)")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write the run's spans as Chrome-trace JSON "
                         "(open at ui.perfetto.dev)")
@@ -165,8 +198,18 @@ def _telemetry_from_args(args, force: bool = False) -> Telemetry:
                     f"error: output directory does not exist: {parent}")
     if args.log_level:
         configure_logging(args.log_level)
-    want = force or bool(args.trace_out or args.jsonl_out or args.metrics_out)
+    want = force or bool(args.trace_out or args.jsonl_out or args.metrics_out
+                         or getattr(args, "monitor", False))
     return Telemetry() if want else NULL_TELEMETRY
+
+
+def _monitor_ms(args) -> float:
+    """The config's ``monitor_interval_ms`` for these CLI args (0 = off)."""
+    if not getattr(args, "monitor", False):
+        return 0.0
+    if args.monitor_interval <= 0:
+        raise SystemExit("error: --monitor-interval must be > 0")
+    return args.monitor_interval
 
 
 def _export_telemetry(tel: Telemetry, args) -> None:
@@ -202,6 +245,7 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         execution=args.execution,
         serpentine_groups=args.serpentine,
+        monitor_interval_ms=_monitor_ms(args),
     )
     if args.autotune:
         from .pipeline import autotune_chunk_qubits
@@ -330,6 +374,7 @@ def _cmd_trace(args) -> int:
         workers=args.workers,
         execution=args.execution,
         serpentine_groups=args.serpentine,
+        monitor_interval_ms=_monitor_ms(args),
     )
     circuit = get_workload(args.workload, args.qubits)
     res = MemQSim(cfg, telemetry=tel).run(circuit)
@@ -343,6 +388,42 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Run a workload (monitor forced on) and write the HTML run report."""
+    from .analysis.htmlreport import write_html
+
+    if args.monitor_interval <= 0:
+        raise SystemExit("error: --monitor-interval must be > 0")
+    out = args.out or f"{args.workload}.report.html"
+    parent = os.path.dirname(os.path.abspath(out))
+    if not os.path.isdir(parent):
+        raise SystemExit(f"error: output directory does not exist: {parent}")
+    opts = {}
+    if args.compressor in ("szlike", "adaptive"):
+        opts["error_bound"] = args.error_bound
+    cfg = MemQSimConfig(
+        chunk_qubits=args.chunk_qubits,
+        compressor=args.compressor,
+        compressor_options=opts,
+        transfer=args.transfer,
+        device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        cpu_offload_fraction=args.offload,
+        cache_chunks=args.cache_chunks,
+        workers=args.workers,
+        execution=args.execution,
+        serpentine_groups=args.serpentine,
+        monitor_interval_ms=args.monitor_interval,
+    )
+    circuit = get_workload(args.workload, args.qubits)
+    res = MemQSim(cfg, telemetry=Telemetry()).run(circuit)
+    title = args.title or (f"MEMQSim: {args.workload} n={args.qubits} "
+                           f"({args.compressor})")
+    nb = write_html(res, out, title=title)
+    print(res.report())
+    print(f"\nHTML report written: {out} ({format_bytes(nb)})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -351,6 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compressors": _cmd_compressors,
         "plan": _cmd_plan,
         "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     try:
         return handlers[args.command](args)

@@ -66,6 +66,12 @@ class MemQSimConfig:
             (inline codec, useful for deterministic engine testing).
         shm_threshold_bytes: codec job payloads at/above this size ship via
             ``multiprocessing.shared_memory`` instead of pickled bytes.
+        monitor_interval_ms: if > 0 (and telemetry is enabled), run a
+            :class:`~repro.telemetry.monitor.ResourceMonitor` sampling
+            thread at this period for the duration of the run; its gauge
+            time-series lands in the trace (counter events) and in
+            ``MemQSimResult.to_dict()["resource_timeline"]``. 0 (default)
+            keeps the allocation-free null monitor.
     """
 
     chunk_qubits: int = 0
@@ -90,6 +96,7 @@ class MemQSimConfig:
     workers: int = 1
     execution: str = "auto"
     shm_threshold_bytes: int = 1 << 20
+    monitor_interval_ms: float = 0.0
 
     def make_compressor(self) -> Compressor:
         return get_compressor(self.compressor, **self.compressor_options)

@@ -41,7 +41,13 @@ from ..memory.layout import ChunkLayout
 from ..pipeline.planner import describe_plan, max_group_qubits_for, plan_stages
 from ..pipeline.scheduler import StageScheduler
 from ..statevector.statevector import StateVector
-from ..telemetry import NULL_TELEMETRY, Telemetry, get_logger
+from ..telemetry import (
+    NULL_RESOURCE_MONITOR,
+    NULL_TELEMETRY,
+    ResourceMonitor,
+    Telemetry,
+    get_logger,
+)
 from .backend import get_backend
 from .config import MemQSimConfig
 from .results import MemQSimResult
@@ -93,6 +99,23 @@ class MemQSim:
                 layout overrides the configured chunk size. At most one of
                 the three initial-state options may be given.
         """
+        cfg = self.config
+        tel = self.telemetry
+        monitor = NULL_RESOURCE_MONITOR
+        if tel.enabled and cfg.monitor_interval_ms > 0:
+            monitor = ResourceMonitor(
+                tel, interval_ms=cfg.monitor_interval_ms).start()
+            tel.monitor = monitor
+        try:
+            return self._run(circuit, initial_state, checkpoint,
+                             initial_store, monitor)
+        finally:
+            monitor.stop()  # idempotent; real stop happens pre-result
+            if monitor is not NULL_RESOURCE_MONITOR:
+                tel.monitor = NULL_RESOURCE_MONITOR
+
+    def _run(self, circuit, initial_state, checkpoint, initial_store,
+             monitor) -> MemQSimResult:
         cfg = self.config
         tel = self.telemetry
         n = circuit.num_qubits
@@ -249,6 +272,9 @@ class MemQSim:
         for ex in executors:
             ex.reset()
 
+        # Close the resource timeline before timing stops so the final
+        # sample (store recompressed, arena drained) is part of the record.
+        monitor.stop()
         wall = time.perf_counter() - t_wall
         model = PipelineModel(
             cpu_codec_lanes=max(1, cfg.host.cores - 1),
@@ -289,6 +315,7 @@ class MemQSim:
             config_summary=cfg.summary(),
             telemetry=tel,
             config_echo=config_echo,
+            resource_timeline=monitor.timeline(),
         )
 
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):

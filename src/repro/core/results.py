@@ -41,6 +41,11 @@ class MemQSimResult:
     #: resolved-knob echo (workers, execution, serpentine, ...) — the
     #: machine-readable companion to the ``config_summary`` string
     config_echo: Dict[str, Any] = field(default_factory=dict)
+    #: gauge time-series captured by the run's ResourceMonitor (RSS, arena
+    #: occupancy, cache hit rate, codec bytes); ``None`` unless the run
+    #: had ``monitor_interval_ms > 0`` and telemetry enabled
+    resource_timeline: Optional[Dict[str, Any]] = field(
+        default=None, repr=False)
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -311,6 +316,8 @@ class MemQSimResult:
         }
         if include_metrics and self.telemetry.enabled:
             out["metrics"] = self.metrics_snapshot()
+        if self.resource_timeline is not None:
+            out["resource_timeline"] = self.resource_timeline
         return out
 
     def report(self) -> str:

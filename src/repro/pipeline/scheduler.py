@@ -339,6 +339,10 @@ class StageScheduler:
             if gates:
                 executor.run_gates(dev, gates, gi)
                 self.stats.gates_applied += len(gates)
+            # One synchronous resource sample while the device buffer is
+            # live, so the arena-occupancy series rises and falls per
+            # group even when passes are shorter than the sample period.
+            self.telemetry.monitor.sample_once()
             executor.download(dev, view, gi)
         finally:
             executor.free(dev)

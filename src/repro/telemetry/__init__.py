@@ -38,6 +38,7 @@ from .metrics import (
     NullMetrics,
     Timer,
 )
+from .monitor import NULL_RESOURCE_MONITOR, NullResourceMonitor, ResourceMonitor
 from .tracer import NullTracer, Span, Tracer
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "Span",
+    "ResourceMonitor",
+    "NullResourceMonitor",
+    "NULL_RESOURCE_MONITOR",
     "MetricsRegistry",
     "NullMetrics",
     "Counter",
@@ -93,7 +97,7 @@ class _StageBridge:
 class Telemetry:
     """Tracer + metrics + logger, threaded through the whole pipeline."""
 
-    __slots__ = ("tracer", "metrics", "log", "enabled")
+    __slots__ = ("tracer", "metrics", "log", "enabled", "monitor")
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
@@ -107,6 +111,10 @@ class Telemetry:
             self.tracer = NullTracer()
             self.metrics = NullMetrics()
         self.log = log
+        #: the active run's ResourceMonitor; swapped in by MemQSim for the
+        #: duration of a monitored run so the scheduler can take synchronous
+        #: samples at interesting moments (device buffer live mid-group)
+        self.monitor = NULL_RESOURCE_MONITOR
 
     @classmethod
     def disabled(cls) -> "Telemetry":

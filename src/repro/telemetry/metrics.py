@@ -227,12 +227,37 @@ class MetricsRegistry:
 
     # -- export -------------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
+    def derived_gauges(self) -> Dict[str, Optional[float]]:
+        """Gauges computed from the raw counters (so consumers stop
+        re-deriving them by hand): ``cache.hit_rate`` and
+        ``codec.compression_ratio``. ``None`` when the denominator is zero
+        (no cache lookups / nothing compressed yet)."""
+        def val(name: str) -> int:
+            c = self._counters.get(name)
+            return c.value if c is not None else 0
+
+        looked = val("cache.hit") + val("cache.miss")
+        bytes_out = val("codec.compress.bytes_out")
         return {
+            "cache.hit_rate": (val("cache.hit") / looked) if looked else None,
+            "codec.compression_ratio":
+                (val("codec.compress.bytes_in") / bytes_out)
+                if bytes_out else None,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
             "counters": {n: c.snapshot() for n, c in sorted(self._counters.items())},
             "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
         }
+        # Only emitted once the source counters exist (declare_standard or
+        # first use) — empty/disabled registries keep the bare 3-section
+        # shape.
+        if any(n in self._counters for n in (
+                "cache.hit", "cache.miss", "codec.compress.bytes_out")):
+            snap["derived"] = self.derived_gauges()
+        return snap
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         def _safe(o):

@@ -114,15 +114,36 @@ class Tracer:
         #: processes (codec workers) be placed on this tracer's timeline.
         self.epoch_wall = time.time()
         self.spans: List[Span] = []
+        #: counter samples: ``(name, t_seconds, {series: value})`` — exported
+        #: as Chrome ``"ph": "C"`` events (stacked counter tracks).
+        self.counters: List[Tuple[str, float, Dict[str, float]]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
         self._tids: Dict[int, int] = {}
+
+    @property
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (the span/counter time base)."""
+        return time.perf_counter() - self._epoch
 
     # -- recording -----------------------------------------------------------
 
     def span(self, name: str, **args) -> _SpanCtx:
         """Open a nested span: ``with tracer.span("kernel", chunk=2): ...``"""
         return _SpanCtx(self, Span(name, args=args, tid=self._tid()))
+
+    def counter(self, name: str, t: Optional[float] = None,
+                **series: float) -> None:
+        """Record one counter sample: ``tracer.counter("rss", bytes=1024)``.
+
+        Counter samples render as stacked counter tracks in trace viewers
+        (one track per ``name``, one colored band per ``series`` key).
+        ``t`` is seconds since the tracer epoch; default *now*.
+        """
+        if t is None:
+            t = time.perf_counter() - self._epoch
+        with self._lock:
+            self.counters.append((name, max(0.0, t), dict(series)))
 
     def record(self, name: str, duration: float, **args) -> Span:
         """Log an already-measured span ending *now* (duration seconds)."""
@@ -212,6 +233,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self.spans.clear()
+            self.counters.clear()
 
     # -- export --------------------------------------------------------------------
 
@@ -226,6 +248,17 @@ class Tracer:
         }]
         events.extend(s.to_event() for s in sorted(self.spans,
                                                    key=lambda s: s.start))
+        events.extend(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": t * 1e6,
+                "pid": 1,
+                "args": dict(series),
+            }
+            for name, t, series in sorted(self.counters, key=lambda c: c[1])
+        )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> int:
@@ -275,10 +308,16 @@ class NullTracer:
 
     enabled = False
     spans: Tuple[Span, ...] = ()
+    counters: Tuple = ()
     epoch_wall = 0.0
+    now = 0.0
 
     def span(self, name: str, **args) -> _NullSpanCtx:
         return _NULL_SPAN_CTX
+
+    def counter(self, name: str, t: Optional[float] = None,
+                **series: float) -> None:
+        return None
 
     def record(self, name: str, duration: float, **args) -> None:
         return None

@@ -1,0 +1,183 @@
+"""repro.bench.baseline: the noise-aware comparator and baseline store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    compare_directories,
+    compare_records,
+    discover_results,
+    make_result,
+    metric,
+    result_path,
+    update_baselines,
+    write_result,
+)
+from repro.bench.baseline import MIN_ABS_SECONDS
+
+
+def record(experiment="E1", wall=1.0, **metrics):
+    all_metrics = {"wall_seconds": metric(wall, unit="s")}
+    all_metrics.update(metrics)
+    return make_result(experiment, metrics=all_metrics)
+
+
+def test_ok_within_tolerance():
+    rep = compare_records(record(wall=1.0), record(wall=1.1))
+    assert rep.status == "ok"
+    assert rep.metrics[0].status == "ok"
+    assert not rep.host_mismatch
+
+
+def test_regression_beyond_tolerance():
+    rep = compare_records(record(wall=1.0), record(wall=1.5))
+    assert rep.status == "regression"
+    (m,) = rep.regressions
+    assert m.name == "wall_seconds"
+    assert m.rel_change == pytest.approx(0.5)
+    assert "wall_seconds" in m.describe()
+
+
+def test_improvement_direction_aware():
+    # lower-is-better improving
+    rep = compare_records(record(wall=1.0), record(wall=0.5))
+    assert rep.status == "ok" and rep.improvements
+    # higher-is-better: dropping ratio is the regression
+    base = record(ratio=metric(10.0, direction="higher"))
+    cur = record(ratio=metric(5.0, direction="higher"))
+    rep = compare_records(base, cur)
+    assert [m.name for m in rep.regressions] == ["ratio"]
+    # ...and rising ratio is the improvement
+    rep = compare_records(cur, base)
+    assert [m.name for m in rep.improvements] == ["ratio"]
+
+
+def test_median_of_repeats_resists_one_outlier():
+    base = make_result("E1", metrics={
+        "wall_seconds": metric([1.0, 1.0, 1.0], unit="s")})
+    cur = make_result("E1", metrics={
+        "wall_seconds": metric([1.05, 9.0, 0.95], unit="s")})  # median 1.05
+    assert compare_records(base, cur).status == "ok"
+
+
+def test_sub_noise_absolute_delta_never_regresses():
+    # +300% relative, but the absolute swing is under the noise floor
+    assert MIN_ABS_SECONDS > 2e-3
+    rep = compare_records(record(wall=1e-3), record(wall=3e-3))
+    assert rep.status == "ok"
+    # same relative change above the floor does gate
+    rep = compare_records(record(wall=1.0), record(wall=3.0))
+    assert rep.status == "regression"
+
+
+def test_missing_baseline():
+    rep = compare_records(None, record())
+    assert rep.status == "no-baseline"
+    assert "update" in rep.notes[0]
+
+
+def test_schema_error_current_and_baseline():
+    bad = record()
+    bad["metrics"] = {"m": {"values": []}}
+    assert compare_records(record(), bad).status == "schema-error"
+    rep = compare_records(bad, record())
+    assert rep.status == "schema-error"
+    assert all(n.startswith("baseline:") for n in rep.notes)
+
+
+def test_host_mismatch_demotes_to_advisory():
+    base, cur = record(wall=1.0), record(wall=2.0)
+    base["host"]["cpu_count"] = 128
+    rep = compare_records(base, cur)
+    assert rep.status == "regression"  # still reported...
+    assert rep.host_mismatch           # ...but flagged advisory
+    assert any("advisory" in n for n in rep.notes)
+    assert "host-mismatch" in rep.summary_line()
+
+
+def test_new_and_missing_metrics():
+    base = record()
+    cur = record()
+    del cur["metrics"]["wall_seconds"]
+    cur["metrics"]["fresh"] = metric(1.0)
+    statuses = {m.name: m.status
+                for m in compare_records(base, cur).metrics}
+    assert statuses == {"wall_seconds": "missing", "fresh": "new"}
+
+
+def test_directory_round_trip(tmp_path):
+    results = tmp_path / "results"
+    baselines = results / "baselines"
+    write_result(record("E1", wall=1.0), result_path(str(results), "E1"))
+    write_result(record("E2", wall=2.0), result_path(str(results), "E2"))
+    assert [e for e, _ in discover_results(str(results))] == ["E1", "E2"]
+
+    # before update: every comparison is no-baseline
+    reports = compare_directories(str(results), str(baselines))
+    assert {r.status for r in reports} == {"no-baseline"}
+
+    written = update_baselines(str(results), str(baselines))
+    assert len(written) == 2
+    reports = compare_directories(str(results), str(baselines))
+    assert {r.status for r in reports} == {"ok"}
+
+    # tighten one committed baseline: the gate names the offender
+    tight = record("E2", wall=0.5)
+    write_result(tight, result_path(str(baselines), "E2"))
+    reports = compare_directories(str(results), str(baselines))
+    by_exp = {r.experiment: r for r in reports}
+    assert by_exp["E1"].status == "ok"
+    assert [m.name for m in by_exp["E2"].regressions] == ["wall_seconds"]
+
+    # --only style filtering
+    only = compare_directories(str(results), str(baselines), only=["E1"])
+    assert [r.experiment for r in only] == ["E1"]
+
+
+def test_update_refuses_invalid_record(tmp_path):
+    results = tmp_path / "results"
+    path = result_path(str(results), "E1")
+    write_result(record("E1"), path)
+    # corrupt it on disk after the schema-checked write
+    import json
+
+    doc = json.loads(open(path).read())
+    doc["metrics"]["wall_seconds"]["values"] = []
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError):
+        update_baselines(str(results), str(tmp_path / "baselines"))
+
+
+def test_bench_cli_check_and_update(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    results, baselines = str(tmp_path / "results"), str(tmp_path / "b")
+    write_result(record("E1", wall=1.0), result_path(results, "E1"))
+    args = ["--results", results, "--baselines", baselines]
+
+    assert main(["check"] + args) == 0  # no baseline yet: advisory only
+    assert main(["update"] + args) == 0
+    assert main(["check"] + args) == 0
+
+    # artificially tightened baseline -> exit 1 naming the metric
+    write_result(record("E1", wall=0.4), result_path(baselines, "E1"))
+    capsys.readouterr()
+    assert main(["check"] + args) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION [E1] wall_seconds" in out
+    assert main(["check", "--warn-only"] + args) == 0
+    assert main(["check", "--tolerance", "2.0"] + args) == 0
+
+    # schema errors fail hard even in warn-only mode
+    import json
+
+    bad = record("E2")
+    path = result_path(results, "E2")
+    write_result(bad, path)
+    doc = json.loads(open(path).read())
+    doc["metrics"] = {"m": {"values": []}}
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    assert main(["check", "--warn-only"] + args) == 2

@@ -82,6 +82,8 @@ class TestPublicSurface:
         "repro.core",
         "repro.observables",
         "repro.analysis",
+        "repro.bench",
+        "repro.telemetry",
         "repro.variational",
         "repro.interop",
         "repro.cli",
