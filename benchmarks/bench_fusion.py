@@ -1,0 +1,167 @@
+"""Experiment FU1 — gate fusion: kernel launches and wall time, off vs on.
+
+The compile layer (``repro.compile``) folds 1q runs, merges diagonal runs
+and fuses gate windows into dense ``<= 2^k``-wide unitaries before the
+online stage runs. Every kernel launch pays per-op overhead (queue entry,
+telemetry, strided traversal), so fewer-but-fatter ops should cut launches
+roughly by the compile layer's fusion ratio while producing the same state.
+
+This bench runs the same QFT workload with fusion off and on, at a device
+size that forces chunk streaming, and records the kernel-launch reduction
+(scheduler ``gates_applied`` counts exactly the ops launched, summed over
+group passes), the compile report, wall times, and the max amplitude
+deviation between the two states.
+
+Emits the canonical ``results/BENCH_FU1.json`` record. ``REPRO_FULL=1``
+runs a paper-scale 22-qubit configuration (state comparison then streams
+chunk-by-chunk instead of densifying).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+import pytest
+
+from common import FULL, bench_telemetry, emit_result, print_banner, seconds, tight_config
+from repro.analysis import Table, format_seconds
+from repro.circuits import get_workload
+from repro.core import MemQSim
+
+N = 22 if FULL else 13
+CHUNK = 11 if FULL else 7
+WORKLOAD = "qft"
+MAX_FUSE = 3
+
+
+def _config(fusion: bool, max_fuse_qubits: int = MAX_FUSE):
+    return tight_config(
+        chunk_qubits=CHUNK,
+        fuse_gates=fusion,
+        max_fuse_qubits=max_fuse_qubits,
+    )
+
+
+def run_once(fusion: bool, n: int = N, max_fuse_qubits: int = MAX_FUSE):
+    circ = get_workload(WORKLOAD, n)
+    cfg = _config(fusion, max_fuse_qubits)
+    label = f"fu1_{'fused' if fusion else 'plain'}_n{n}"
+    with bench_telemetry(label) as tel:
+        t0 = time.perf_counter()
+        res = MemQSim(cfg, telemetry=tel).run(circ)
+        wall = time.perf_counter() - t0
+    cr = res.compile_report
+    return {
+        "fusion": fusion,
+        "max_fuse_qubits": max_fuse_qubits,
+        "wall_seconds": wall,
+        "kernel_launches": res.scheduler_stats.gates_applied,
+        "gates_in": cr.gates_in,
+        "ops_out": cr.ops_out,
+        "fusion_ratio": cr.fusion_ratio,
+        "compile_seconds": cr.seconds,
+        "norm": float(res.norm()),
+    }, res
+
+
+def _max_deviation(a, b, n: int) -> float:
+    """Max |amplitude difference| between two results (streamed)."""
+    lay = a.store.layout
+    worst = 0.0
+    for k in range(lay.num_chunks):
+        d = np.abs(a.store.load(k) - b.store.load(k))
+        worst = max(worst, float(d.max()) if d.size else 0.0)
+    return worst
+
+
+def generate_report(n: int = N, max_fuse_qubits: int = MAX_FUSE) -> dict:
+    plain, plain_res = run_once(False, n, max_fuse_qubits)
+    fused, fused_res = run_once(True, n, max_fuse_qubits)
+    reduction = plain["kernel_launches"] / max(fused["kernel_launches"], 1)
+    return {
+        "experiment": "FU1 gate fusion",
+        "workload": WORKLOAD,
+        "num_qubits": n,
+        "chunk_qubits": CHUNK,
+        "full": FULL,
+        "runs": [plain, fused],
+        "kernel_launch_reduction": reduction,
+        "wall_speedup": plain["wall_seconds"] / fused["wall_seconds"],
+        "max_amplitude_deviation": _max_deviation(plain_res, fused_res, n),
+    }
+
+
+def render_table(report: dict) -> Table:
+    t = Table(
+        ["fusion", "gates in", "ops out", "ratio", "launches", "wall"],
+        title=(f"FU1: gate fusion, {report['workload']} "
+               f"n={report['num_qubits']} chunk={report['chunk_qubits']}"),
+    )
+    for r in report["runs"]:
+        t.add(
+            "on" if r["fusion"] else "off",
+            str(r["gates_in"]),
+            str(r["ops_out"]),
+            f"{r['fusion_ratio']:.2f}x",
+            str(r["kernel_launches"]),
+            format_seconds(r["wall_seconds"]),
+        )
+    return t
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+def test_fused_matches_unfused_end_to_end(benchmark):
+    circ = get_workload(WORKLOAD, 11)
+    ref = MemQSim(_config(False)).run(circ).statevector()
+
+    def run():
+        return MemQSim(_config(True)).run(circ)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    np.testing.assert_allclose(res.statevector(), ref, atol=1e-10)
+
+
+@pytest.mark.parametrize("fusion", [False, True])
+def test_fusion_wall_clock(benchmark, fusion):
+    circ = get_workload(WORKLOAD, 11)
+    sim = MemQSim(_config(fusion))
+    res = benchmark.pedantic(sim.run, args=(circ,), rounds=1, iterations=1)
+    assert res.norm() == pytest.approx(1.0, abs=1e-3)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-n", "--qubits", type=int, default=N)
+    ap.add_argument("--max-fuse-qubits", type=int, default=MAX_FUSE)
+    args = ap.parse_args()
+
+    print_banner(__doc__.splitlines()[0])
+    report = generate_report(args.qubits, args.max_fuse_qubits)
+    table = render_table(report)
+    print(table.render())
+    print(f"\nkernel-launch reduction: "
+          f"{report['kernel_launch_reduction']:.2f}x   "
+          f"max amplitude deviation: "
+          f"{report['max_amplitude_deviation']:.2e}")
+    plain, fused = report["runs"]
+    emit_result("FU1", title=__doc__.splitlines()[0],
+                params={"num_qubits": report["num_qubits"],
+                        "chunk_qubits": CHUNK, "workload": WORKLOAD,
+                        "max_fuse_qubits": args.max_fuse_qubits},
+                metrics={
+                    "wall_seconds_plain": seconds(plain["wall_seconds"]),
+                    "wall_seconds_fused": seconds(fused["wall_seconds"]),
+                    "kernel_launch_reduction": {
+                        "values": [report["kernel_launch_reduction"]],
+                        "direction": "higher"},
+                    "fusion_ratio": {
+                        "values": [fused["fusion_ratio"]],
+                        "direction": "higher"},
+                },
+                tables=[table],
+                extra={"runs": report["runs"],
+                       "max_amplitude_deviation":
+                           report["max_amplitude_deviation"]})

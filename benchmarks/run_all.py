@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "A7": ("bench_cache", "slow"),
     "A8": ("bench_entropy_vs_ratio", "fast"),
     "P1": ("bench_parallel_scaling", "slow"),
+    "FU1": ("bench_fusion", "fast"),
 }
 
 

@@ -300,6 +300,28 @@ def _compression_section(result, max_rows: int) -> str:
             f'<th>ratio</th></tr>{"".join(rows)}</table>{note}')
 
 
+def _compile_section(result) -> str:
+    cr = getattr(result, "compile_report", None)
+    if cr is None:
+        return ('<p class="note">no compile report on this result '
+                '(built outside MemQSim.run).</p>')
+    rows = [
+        ("fusion", "on" if cr.fusion_enabled else "off"),
+        ("gates in", _fmt(cr.gates_in)),
+        ("ops out", _fmt(cr.ops_out)),
+        ("fusion ratio", f"{cr.fusion_ratio:.2f}x"),
+        ("1q runs folded", _fmt(cr.fused_1q)),
+        ("diagonal runs merged", _fmt(cr.merged_diagonals)),
+        ("windows fused", _fmt(cr.fused_windows)),
+        ("max fuse qubits", str(cr.max_fuse_qubits)),
+        ("gate stages", _fmt(cr.num_gate_stages)),
+        ("compile time", format_seconds(cr.seconds)),
+    ]
+    body = "".join(f"<tr><td>{_esc(k)}</td><td>{_esc(v)}</td></tr>"
+                   for k, v in rows)
+    return f"<table><tr><th>compile</th><th>value</th></tr>{body}</table>"
+
+
 def _metrics_section(result) -> str:
     if not result.telemetry.enabled:
         return ('<p class="note">telemetry was disabled for this run — '
@@ -363,6 +385,8 @@ def render_html(result, *, title: str = "MEMQSim run report",
         _memory_section(result.resource_timeline),
         "<h2>Per-chunk compression</h2>",
         _compression_section(result, max_table_rows),
+        "<h2>Compile / gate fusion</h2>",
+        _compile_section(result),
         "<h2>Metrics</h2>",
         _metrics_section(result),
     ]

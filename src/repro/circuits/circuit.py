@@ -266,14 +266,14 @@ class Circuit:
         u = np.eye(dim, dtype=np.complex128)
         # Apply each gate to the columns of u (each column is a state).
         # Kernels need contiguous buffers, so stage each column through one.
-        from ..statevector.kernels import apply_circuit_gate  # avoid cycle
+        from ..core.backend import get_backend  # avoid cycle
 
+        be = get_backend("numpy")
         col = np.empty(dim, dtype=np.complex128)
-        for g in self._gates:
-            for j in range(dim):
-                col[:] = u[:, j]
-                apply_circuit_gate(col, g)
-                u[:, j] = col
+        for j in range(dim):
+            col[:] = u[:, j]
+            be.apply(col, self._gates)
+            u[:, j] = col
         return u
 
     def __str__(self) -> str:

@@ -43,6 +43,7 @@ __all__ = [
     "adjoint_matrix",
     "is_unitary",
     "is_diagonal",
+    "gate_is_diagonal",
     "is_permutation",
     "SQRT2_INV",
 ]
@@ -232,6 +233,24 @@ def is_unitary(m: np.ndarray, atol: float = 1e-10) -> bool:
 
 def is_diagonal(m: np.ndarray, atol: float = 1e-12) -> bool:
     return bool(np.allclose(m, np.diag(np.diag(m)), atol=atol))
+
+
+#: named gates whose unitary is diagonal for every parameter value
+_DIAGONAL_GATE_NAMES = frozenset(
+    ("z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp",
+     "cu1", "crz", "rzz", "ccz", "gphase", "id")
+)
+
+
+def gate_is_diagonal(g: "Gate") -> bool:
+    """True when the gate's unitary is diagonal (cheap name/diag check first)."""
+    if g.diag is not None:
+        return True
+    if g.name in _DIAGONAL_GATE_NAMES:
+        return True
+    if g.name == "unitary":
+        return is_diagonal(g.matrix)
+    return False
 
 
 def is_permutation(m: np.ndarray, atol: float = 1e-12) -> bool:

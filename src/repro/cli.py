@@ -68,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulated device memory (MiB)")
     runp.add_argument("--offload", type=float, default=0.0,
                       help="CPU offload fraction [0,1]")
-    runp.add_argument("--fuse", action="store_true", help="fuse 1q gate runs")
+    runp.add_argument("--fuse", action="store_true",
+                      help="deprecated alias for --fusion")
+    _add_fusion_args(runp)
     runp.add_argument("--cache-chunks", type=int, default=0,
                       help="decompressed-chunk cache capacity (0 = off)")
     runp.add_argument("--cache-policy", default="mru", choices=["lru", "mru"])
@@ -112,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     tracep.add_argument("--cache-chunks", type=int, default=0)
     tracep.add_argument("--offload", type=float, default=0.0)
     tracep.add_argument("--device-mb", type=float, default=256.0)
+    _add_fusion_args(tracep)
     _add_parallel_args(tracep)
     _add_telemetry_args(tracep)
     tracep.add_argument("--top", type=int, default=10,
@@ -139,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output path (default <workload>.report.html)")
     repp.add_argument("--title", help="report title")
     return p
+
+
+def _add_fusion_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--fusion", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="run the gate-fusion compile passes (1q folding, "
+                        "diagonal merging, window fusion) when lowering "
+                        "the plan")
+    p.add_argument("--max-fuse-qubits", type=int, default=3, metavar="K",
+                   help="widest dense unitary window fusion may build "
+                        "(default 3)")
+
+
+def _fusion_enabled(args) -> bool:
+    return bool(getattr(args, "fusion", False) or getattr(args, "fuse", False))
 
 
 def _add_parallel_args(p: argparse.ArgumentParser) -> None:
@@ -238,7 +256,8 @@ def _cmd_run(args) -> int:
         transfer=args.transfer,
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
         cpu_offload_fraction=args.offload,
-        fuse_gates=args.fuse,
+        fuse_gates=_fusion_enabled(args),
+        max_fuse_qubits=args.max_fuse_qubits,
         cache_chunks=args.cache_chunks,
         cache_policy=args.cache_policy,
         num_devices=args.devices,
@@ -370,6 +389,8 @@ def _cmd_trace(args) -> int:
         transfer=args.transfer,
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
         cpu_offload_fraction=args.offload,
+        fuse_gates=_fusion_enabled(args),
+        max_fuse_qubits=args.max_fuse_qubits,
         cache_chunks=args.cache_chunks,
         workers=args.workers,
         execution=args.execution,

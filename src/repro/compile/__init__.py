@@ -1,0 +1,31 @@
+"""The compile layer: lower staged gate batches into a fused op IR.
+
+One lowered :class:`~repro.compile.ir.CompiledPlan` is consumed by every
+amplitude-touching path — the device executor, the scheduler's CPU-offload
+path, and (via :func:`~repro.compile.compiler.compile_gates`) the dense
+baseline simulator — so gate fusion happens once, in one place, and every
+backend executes the same ops.
+"""
+
+from .compiler import CompileOptions, compile_gates, compile_stage, compile_stages
+from .ir import (
+    CompiledGateStage,
+    CompiledPlan,
+    CompileReport,
+    FusedOp,
+    GateOp,
+    as_ops,
+)
+
+__all__ = [
+    "CompileOptions",
+    "compile_gates",
+    "compile_stage",
+    "compile_stages",
+    "GateOp",
+    "FusedOp",
+    "CompiledGateStage",
+    "CompiledPlan",
+    "CompileReport",
+    "as_ops",
+]

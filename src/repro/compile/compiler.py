@@ -1,0 +1,159 @@
+"""Compile a circuit's gate batches into the lowered op IR.
+
+:func:`compile_gates` lowers one flat gate list (the dense simulator's
+whole circuit); :func:`compile_stages` lowers a planner stage list into a
+:class:`~repro.compile.ir.CompiledPlan` (the chunked pipeline's program).
+Both run the same pass pipeline — 1q folding, diagonal merging, window
+fusion — controlled by one frozen :class:`CompileOptions`.
+
+With fusion disabled the compiler still runs: every gate lowers 1:1 to a
+:class:`~repro.compile.ir.GateOp`, so consumers always execute the same IR
+regardless of whether fusion is on. Stage boundaries are preserved by
+construction — each stage's batch compiles independently and permutation
+stages pass through untouched.
+
+For staged compilation the densify predicate is derived from the layout:
+a qubit set is densifiable when every qubit is either chunk-local or in
+the stage's group (those are exactly the qubits with a position in the
+group buffer). This module duck-types stages (``perm`` => permutation,
+``group_qubits`` + ``gates`` => gate stage) instead of importing
+:mod:`repro.pipeline`, keeping the compile layer import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ir import CompiledGateStage, CompiledPlan, CompileReport, as_ops
+from .passes import fold_1q_runs, fuse_windows, merge_diagonal_runs
+
+__all__ = ["CompileOptions", "compile_gates", "compile_stage", "compile_stages"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs for the lowering passes.
+
+    Attributes:
+        fusion: master switch; off = 1:1 lowering (no gate is touched).
+        max_fuse_qubits: widest dense unitary window fusion may build.
+        max_diag_qubits: widest stored diagonal the merge pass may build
+            (``2^k`` vector per merged diagonal; must be >= max_fuse_qubits
+            so a cap-split diagonal run can never be densified past the
+            window cap).
+        fold_1q / merge_diagonals / fuse_window_runs: per-pass switches,
+            mainly for tests and ablations.
+    """
+
+    fusion: bool = False
+    max_fuse_qubits: int = 3
+    max_diag_qubits: int = 8
+    fold_1q: bool = True
+    merge_diagonals: bool = True
+    fuse_window_runs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_fuse_qubits < 1:
+            raise ValueError("max_fuse_qubits must be >= 1")
+        if self.max_diag_qubits < self.max_fuse_qubits:
+            raise ValueError(
+                "max_diag_qubits must be >= max_fuse_qubits "
+                f"({self.max_diag_qubits} < {self.max_fuse_qubits})")
+
+
+DEFAULT_OPTIONS = CompileOptions()
+
+
+def compile_gates(gates: Sequence[Any],
+                  options: Optional[CompileOptions] = None,
+                  can_densify=None) -> Tuple[List[Any], Dict[str, int]]:
+    """Lower one gate batch to ops; returns ``(ops, pass stats)``."""
+    opts = options if options is not None else DEFAULT_OPTIONS
+    ops = as_ops(gates)
+    stats: Dict[str, int] = {
+        "gates_in": len(ops),
+        "fused_1q": 0,
+        "merged_diagonals": 0,
+        "fused_windows": 0,
+    }
+    if opts.fusion:
+        cd = can_densify if can_densify is not None else (lambda qs: True)
+        if opts.fold_1q:
+            ops = fold_1q_runs(ops, cd, stats)
+        if opts.merge_diagonals:
+            ops = merge_diagonal_runs(ops, opts.max_diag_qubits, stats)
+        if opts.fuse_window_runs:
+            ops = fuse_windows(ops, opts.max_fuse_qubits, cd, stats)
+    stats["ops_out"] = len(ops)
+    return ops, stats
+
+
+def _is_permutation_stage(stage: Any) -> bool:
+    return hasattr(stage, "perm")
+
+
+def _is_gate_stage(stage: Any) -> bool:
+    return hasattr(stage, "group_qubits") and hasattr(stage, "gates")
+
+
+def compile_stage(stage: Any, layout: Any = None,
+                  options: Optional[CompileOptions] = None,
+                  ) -> Tuple[CompiledGateStage, Dict[str, int]]:
+    """Lower one gate stage. ``layout`` derives the densify predicate."""
+    if isinstance(stage, CompiledGateStage):
+        return stage, {"gates_in": stage.source_gates,
+                       "ops_out": len(stage.ops),
+                       "fused_1q": 0, "merged_diagonals": 0,
+                       "fused_windows": 0}
+    cd = None
+    if layout is not None:
+        group = frozenset(stage.group_qubits)
+        cd = lambda qs, _g=group, _lay=layout: all(
+            _lay.is_local(q) or q in _g for q in qs)
+    ops, stats = compile_gates(stage.gates, options, cd)
+    return (CompiledGateStage(tuple(stage.group_qubits), tuple(ops),
+                              source_gates=len(stage.gates)), stats)
+
+
+def compile_stages(stages: Sequence[Any], layout: Any = None,
+                   options: Optional[CompileOptions] = None,
+                   telemetry: Any = None) -> CompiledPlan:
+    """Lower a planner stage list into a :class:`CompiledPlan`.
+
+    Gate stages compile independently (stage boundaries are execution
+    barriers — fusion never crosses them); permutation stages and already-
+    compiled stages pass through. When ``telemetry`` is enabled, records
+    ``compile.gates_in`` / ``compile.ops_out`` counters, the
+    ``compile.fusion_ratio`` gauge and one ``compile`` tracer span.
+    """
+    opts = options if options is not None else DEFAULT_OPTIONS
+    t0 = time.perf_counter()
+    report = CompileReport(fusion_enabled=opts.fusion,
+                           max_fuse_qubits=opts.max_fuse_qubits)
+    out: List[Any] = []
+    for stage in stages:
+        if _is_permutation_stage(stage) or not _is_gate_stage(stage):
+            out.append(stage)
+            continue
+        cstage, stats = compile_stage(stage, layout, opts)
+        out.append(cstage)
+        report.num_gate_stages += 1
+        report.gates_in += stats["gates_in"]
+        report.ops_out += stats["ops_out"]
+        report.fused_1q += stats["fused_1q"]
+        report.merged_diagonals += stats["merged_diagonals"]
+        report.fused_windows += stats["fused_windows"]
+    report.seconds = time.perf_counter() - t0
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        m = telemetry.metrics
+        m.counter("compile.gates_in").inc(report.gates_in)
+        m.counter("compile.ops_out").inc(report.ops_out)
+        m.gauge("compile.fusion_ratio").set(report.fusion_ratio)
+        telemetry.tracer.record("compile", report.seconds,
+                                gates_in=report.gates_in,
+                                ops_out=report.ops_out,
+                                fusion=opts.fusion,
+                                stages=report.num_gate_stages)
+    return CompiledPlan(out, report)

@@ -36,6 +36,17 @@ class Backend(abc.ABC):
     def apply(self, buf: np.ndarray, gates: Sequence[Gate]) -> None:
         """Apply ``gates`` in order to ``buf`` (length ``2^m``), in place."""
 
+    def apply_ops(self, buf: np.ndarray, ops: Sequence[object]) -> None:
+        """Apply a batch of compiled ops (:mod:`repro.compile` IR), in place.
+
+        The default lowers each op to its :class:`Gate` and delegates to
+        :meth:`apply`, so every backend — including the einsum
+        cross-validator — consumes the compiled plan without knowing the
+        IR. Raw :class:`Gate` items are accepted too.
+        """
+        self.apply(buf, [op.to_gate() if hasattr(op, "to_gate") else op
+                         for op in ops])
+
 
 class NumpyKernelBackend(Backend):
     """Default: strided fast paths + single-matmul generic kernel."""

@@ -39,8 +39,11 @@ class MemQSimConfig:
         min_chunks: auto chunk sizing keeps at least this many chunks.
         max_chunk_qubits: auto chunk sizing cap (keeps codec latency sane).
         backend: kernel backend name (``"numpy"`` or ``"einsum"``).
-        fuse_gates: merge adjacent single-qubit gates per group pass into
-            one 2x2 unitary before launching kernels.
+        fuse_gates: run the gate-fusion compile passes (1q folding,
+            diagonal merging, window fusion) when lowering the plan; off
+            still compiles, 1:1 gate-to-op.
+        max_fuse_qubits: widest dense unitary the window-fusion pass may
+            build (``2^k x 2^k`` matrix per fused op).
         num_devices: simulated accelerators; chunk groups are distributed
             round-robin and the overlap model gets one GPU + bus lane per
             device.
@@ -87,6 +90,7 @@ class MemQSimConfig:
     max_chunk_qubits: int = 14
     backend: str = "numpy"
     fuse_gates: bool = False
+    max_fuse_qubits: int = 3
     num_devices: int = 1
     cache_chunks: int = 0
     cache_policy: str = "mru"

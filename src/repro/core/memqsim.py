@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from ..circuits.circuit import Circuit
+from ..compile import CompileOptions, compile_stages
 from ..device.executor import DeviceExecutor
 from ..device.timeline import PipelineModel, Timeline
 from ..device.transfer import make_strategy
@@ -178,6 +179,18 @@ class MemQSim:
             enable_permutation_stages=cfg.enable_permutation_stages,
         )
         plan = describe_plan(stages, layout)
+        # Compile (lower + fuse) once; every amplitude-touching path — the
+        # device executors, the CPU-offload path, the parallel engine's
+        # workers — consumes this one lowered plan.
+        cplan = compile_stages(
+            stages, layout,
+            CompileOptions(fusion=cfg.fuse_gates,
+                           max_fuse_qubits=cfg.max_fuse_qubits),
+            telemetry=tel,
+        )
+        log.debug("compile: %d gates -> %d ops (ratio %.2f, fusion=%s)",
+                  cplan.report.gates_in, cplan.report.ops_out,
+                  cplan.report.fusion_ratio, cfg.fuse_gates)
         if tel.enabled:
             # The offline stage ends here: store initialized, plan fixed.
             tel.tracer.record("offline", time.perf_counter() - t_wall,
@@ -239,6 +252,8 @@ class MemQSim:
             fuse_gates=cfg.fuse_gates,
             serpentine=cfg.serpentine_groups,
             telemetry=tel,
+            backend=backend,
+            max_fuse_qubits=cfg.max_fuse_qubits,
         )
         codec_pool = None
         if use_parallel:
@@ -262,7 +277,7 @@ class MemQSim:
         try:
             with tel.span("online", stages=plan.num_stages,
                           workers=workers if use_parallel else 1):
-                scheduler.run(stages)
+                scheduler.run(cplan.stages)
                 if store_like is not store:
                     store_like.flush()
         finally:
@@ -299,6 +314,8 @@ class MemQSim:
             "cache_chunks": cfg.cache_chunks,
             "serpentine": cfg.serpentine_groups,
             "fuse_gates": cfg.fuse_gates,
+            "fusion": cfg.fuse_gates,
+            "max_fuse_qubits": cfg.max_fuse_qubits,
             "store": cfg.store,
             "workers": workers if use_parallel else 1,
             "execution": "parallel" if use_parallel else "serial",
@@ -316,6 +333,7 @@ class MemQSim:
             telemetry=tel,
             config_echo=config_echo,
             resource_timeline=monitor.timeline(),
+            compile_report=cplan.report,
         )
 
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):

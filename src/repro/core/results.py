@@ -46,6 +46,10 @@ class MemQSimResult:
     #: had ``monitor_interval_ms > 0`` and telemetry enabled
     resource_timeline: Optional[Dict[str, Any]] = field(
         default=None, repr=False)
+    #: the compile layer's :class:`~repro.compile.CompileReport` — gates in,
+    #: ops out, per-pass fusion counts; ``None`` for results built outside
+    #: :class:`~repro.core.memqsim.MemQSim` (e.g. hand-assembled in tests)
+    compile_report: Optional[Any] = field(default=None, repr=False)
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -314,6 +318,8 @@ class MemQSimResult:
                     self.scheduler_stats.gates_skipped_identity,
             },
         }
+        if self.compile_report is not None:
+            out["compile"] = self.compile_report.to_dict()
         if include_metrics and self.telemetry.enabled:
             out["metrics"] = self.metrics_snapshot()
         if self.resource_timeline is not None:
@@ -346,6 +352,13 @@ class MemQSimResult:
             f"{self.scheduler_stats.gates_skipped_identity} identity-skipped, "
             f"{self.scheduler_stats.cpu_group_passes} CPU-path groups",
         ]
+        if self.compile_report is not None:
+            cr = self.compile_report
+            lines.append(
+                f"  compile: {cr.gates_in} gates -> {cr.ops_out} ops "
+                f"({cr.fusion_ratio:.2f}x, fusion="
+                f"{'on' if cr.fusion_enabled else 'off'})"
+            )
         if self.telemetry.enabled:
             snap = self.metrics_snapshot()
             counters = snap.get("counters", {})

@@ -22,9 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.gates import Gate
 from ..memory.accounting import MemoryTracker
-from ..statevector.kernels import apply_circuit_gate
 from ..telemetry import NULL_TELEMETRY, get_logger
 from .arena import DeviceArena, DeviceBuffer
 from .spec import DeviceSpec
@@ -36,12 +34,31 @@ __all__ = ["DeviceExecutor", "KernelLaunch"]
 log = get_logger(__name__)
 
 
+def _apply_ops(backend, view: np.ndarray, ops: Sequence[object]) -> None:
+    """Run an op batch on ``backend``, tolerating gate-only backends.
+
+    Backends from :mod:`repro.core.backend` expose ``apply_ops``; duck-typed
+    test doubles may only implement ``apply(buf, gates)``, so lower for them.
+    """
+    apply_ops = getattr(backend, "apply_ops", None)
+    if apply_ops is not None:
+        apply_ops(view, ops)
+        return
+    backend.apply(view, [op.to_gate() if hasattr(op, "to_gate") else op
+                         for op in ops])
+
+
 @dataclass
 class KernelLaunch:
-    """A queued gate batch against a device buffer."""
+    """A queued batch of compiled ops against a device buffer.
+
+    ``ops`` holds :mod:`repro.compile` IR items (:class:`GateOp` /
+    :class:`FusedOp`); raw :class:`~repro.circuits.gates.Gate` instances
+    are accepted as well — the backend lowers either form.
+    """
 
     buffer: DeviceBuffer
-    gates: Tuple[Gate, ...]
+    ops: Tuple[object, ...]
     chunk: int
 
 
@@ -57,13 +74,19 @@ class DeviceExecutor:
         backend=None,
         telemetry=None,
     ):
-        """``backend`` is any object with ``apply(buf, gates)`` (see
+        """``backend`` is any object with ``apply_ops(buf, ops)`` (see
         :mod:`repro.core.backend`); ``None`` uses the numpy kernels."""
         self.spec = spec if spec is not None else DeviceSpec()
         self.tracker = tracker if tracker is not None else MemoryTracker()
         self.arena = DeviceArena(self.spec, self.tracker)
         self.timeline = timeline if timeline is not None else Timeline()
         self.transfer = transfer if transfer is not None else make_strategy("sync")
+        if backend is None:
+            # Runtime import: core.backend imports the compile/statevector
+            # layers, so a module-level import here would be cyclic.
+            from ..core.backend import NumpyKernelBackend
+
+            backend = NumpyKernelBackend()
         self.backend = backend
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._queue: List[KernelLaunch] = []
@@ -99,9 +122,10 @@ class DeviceExecutor:
 
     # -- kernels ---------------------------------------------------------------
 
-    def launch(self, buf: DeviceBuffer, gates: Sequence[Gate], chunk: int = -1) -> None:
-        """Queue a gate batch on the stream (asynchronous issue)."""
-        self._queue.append(KernelLaunch(buf, tuple(gates), chunk))
+    def launch(self, buf: DeviceBuffer, ops: Sequence[object],
+               chunk: int = -1) -> None:
+        """Queue a compiled-op batch on the stream (asynchronous issue)."""
+        self._queue.append(KernelLaunch(buf, tuple(ops), chunk))
 
     def synchronize(self) -> float:
         """Drain the stream; returns total kernel seconds executed."""
@@ -109,29 +133,27 @@ class DeviceExecutor:
         tel = self.telemetry
         for launch in self._queue:
             t0 = time.perf_counter()
-            view = launch.buffer.view
-            if self.backend is not None:
-                self.backend.apply(view, launch.gates)
-            else:
-                for g in launch.gates:
-                    apply_circuit_gate(view, g)
+            _apply_ops(self.backend, launch.buffer.view, launch.ops)
             dt = time.perf_counter() - t0
             tel.record_stage(self.timeline, Stage.KERNEL, dt,
                              chunk=launch.chunk, nbytes=launch.buffer.nbytes,
-                             gates=len(launch.gates))
+                             gates=len(launch.ops))
             if tel.enabled:
-                tel.metrics.counter("kernel.gates").inc(len(launch.gates))
+                tel.metrics.counter("kernel.gates").inc(len(launch.ops))
                 tel.metrics.histogram("kernel.seconds").observe(dt)
-            self.kernels_launched += len(launch.gates)
+            self.kernels_launched += len(launch.ops)
             total += dt
         self._queue.clear()
         return total
 
-    def run_gates(self, buf: DeviceBuffer, gates: Sequence[Gate],
-                  chunk: int = -1) -> float:
+    def run_ops(self, buf: DeviceBuffer, ops: Sequence[object],
+                chunk: int = -1) -> float:
         """Issue + drain in one call (the common synchronous path)."""
-        self.launch(buf, gates, chunk)
+        self.launch(buf, ops, chunk)
         return self.synchronize()
+
+    # Historical name; gate batches and op batches both work.
+    run_gates = run_ops
 
     def reset(self) -> None:
         """Release all device memory and pending work."""

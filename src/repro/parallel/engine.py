@@ -34,9 +34,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..compile import CompiledGateStage
 from ..device.timeline import Stage
 from ..pipeline.scheduler import StageScheduler
-from ..pipeline.stages import GateStage
 from ..telemetry import get_logger
 from .pool import CodecJob, CodecWorkerPool
 
@@ -71,7 +71,7 @@ class ParallelStageScheduler(StageScheduler):
 
     # -- gate stages ---------------------------------------------------------
 
-    def _run_gate_stage(self, stage: GateStage, si: int = -1) -> None:
+    def _run_gate_stage(self, stage: CompiledGateStage, si: int = -1) -> None:
         if not self._blob_io:
             super()._run_gate_stage(stage, si)
             return
@@ -84,7 +84,7 @@ class ParallelStageScheduler(StageScheduler):
         try:
             for idx, (gi, members) in enumerate(order):
                 cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
-                gates = self._gates_for_group(stage, placement, members[0])
+                ops = self._ops_for_group(stage, placement, members[0])
                 if prefetch is None:
                     buf = self.pool.acquire()
                     jobs = self._submit_loads(members)
@@ -105,9 +105,9 @@ class ParallelStageScheduler(StageScheduler):
                     parallel=True,
                 ):
                     if cpu_path:
-                        self._cpu_update(gi, gates, view)
+                        self._cpu_update(gi, ops, view)
                     else:
-                        self._device_update(gi, gates, view)
+                        self._device_update(gi, ops, view)
                 self._submit_stores(gi, members, view, pending)
                 self.pool.release(buf)
                 self._drain_stores(pending, block=False)

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate, is_diagonal, make_gate
+from ..circuits.gates import Gate, gate_is_diagonal, make_gate
 from ..device.spec import DeviceSpec
 from ..memory.layout import ChunkLayout
 from ..telemetry import get_logger
@@ -53,15 +53,9 @@ def max_group_qubits_for(layout: ChunkLayout, device: DeviceSpec,
     return t
 
 
-def _gate_is_diagonal(g: Gate) -> bool:
-    if g.diag is not None:
-        return True
-    if g.name in ("z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp",
-                  "cu1", "crz", "rzz", "ccz", "gphase", "id"):
-        return True
-    if g.name == "unitary":
-        return is_diagonal(g.matrix)
-    return False
+# Backwards-compatible alias: the canonical predicate now lives with the
+# gate definitions so the compile layer can share it without import cycles.
+_gate_is_diagonal = gate_is_diagonal
 
 
 def _permutation_of(g: Gate, layout: ChunkLayout) -> Optional[Tuple[int, ...]]:

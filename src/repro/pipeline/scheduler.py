@@ -32,12 +32,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.gates import Gate, make_diagonal_gate
+from ..circuits.gates import Gate, gate_is_diagonal, make_diagonal_gate
+from ..compile import CompiledGateStage, CompileOptions, GateOp, compile_stage
 from ..device.timeline import Stage, Timeline
 from ..memory.bufferpool import BufferPool
 from ..memory.chunkstore import CompressedChunkStore
 from ..memory.layout import ChunkLayout, GroupPlacement
-from ..statevector.kernels import apply_circuit_gate
 from ..telemetry import NULL_TELEMETRY, get_logger
 from .stages import GateStage, PermutationStage
 
@@ -132,44 +132,7 @@ def remap_gate_for_group(
     return gate.remapped(mapping)
 
 
-def _is_diag_gate(gate: Gate) -> bool:
-    from .planner import _gate_is_diagonal
-
-    return _gate_is_diagonal(gate)
-
-
-def _fuse_adjacent_1q(gates: List[Gate]) -> List[Gate]:
-    """Merge runs of non-diagonal 1q gates per qubit into one unitary.
-
-    Saves kernel launches inside a group pass (compute less — the same
-    optimization the dense baseline offers, applied post-remapping so it
-    works on virtual qubit positions too).
-    """
-    import numpy as np
-
-    from ..circuits.gates import make_gate
-
-    out: List[Gate] = []
-    pending: Dict[int, np.ndarray] = {}
-
-    def flush(q: int) -> None:
-        m = pending.pop(q, None)
-        if m is not None:
-            out.append(make_gate("unitary", (q,), (), m))
-
-    for g in gates:
-        if g.num_qubits == 1:
-            # 1q diagonals densify to 2x2 for free, so they fuse too.
-            q = g.qubits[0]
-            prev = pending.get(q)
-            pending[q] = g.matrix @ prev if prev is not None else g.matrix
-        else:
-            for q in g.qubits:
-                flush(q)
-            out.append(g)
-    for q in sorted(pending):
-        flush(q)
-    return out
+_is_diag_gate = gate_is_diagonal
 
 
 @dataclass
@@ -197,13 +160,20 @@ class StageScheduler:
         fuse_gates: bool = False,
         serpentine: bool = False,
         telemetry=None,
+        backend=None,
+        max_fuse_qubits: int = 3,
     ):
         """``executor`` is one DeviceExecutor or a sequence of them; with
         several, chunk groups are distributed round-robin (simulated
         multi-device execution — the overlap model then runs the kernel
         and bus events on as many lanes as there are devices).
         ``serpentine`` alternates the group sweep direction per stage so a
-        bounded chunk cache keeps hitting across stage boundaries."""
+        bounded chunk cache keeps hitting across stage boundaries.
+        ``backend`` executes the CPU-offload path's op batches (see
+        :mod:`repro.core.backend`); ``None`` uses the numpy kernels.
+        ``fuse_gates`` / ``max_fuse_qubits`` configure the lazy compile of
+        raw :class:`GateStage` inputs — stages already lowered by
+        :func:`repro.compile.compile_stages` run as-is."""
         if not 0.0 <= cpu_offload_fraction <= 1.0:
             raise ValueError("cpu_offload_fraction must be in [0, 1]")
         self.layout = layout
@@ -221,6 +191,17 @@ class StageScheduler:
         self.fuse_gates = bool(fuse_gates)
         self.serpentine = bool(serpentine)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if backend is None:
+            # Runtime import — core.backend sits above this module in the
+            # import graph, so importing it at module scope would be cyclic.
+            from ..core.backend import NumpyKernelBackend
+
+            backend = NumpyKernelBackend()
+        self.backend = backend
+        self.compile_options = CompileOptions(
+            fusion=self.fuse_gates,
+            max_fuse_qubits=max_fuse_qubits,
+        )
         self._stage_parity = 0
         self._stage_index = 0
         self.stats = SchedulerStats()
@@ -236,9 +217,15 @@ class StageScheduler:
         if isinstance(stage, PermutationStage):
             with self.telemetry.span("stage", index=si, kind="permutation"):
                 self._run_permutation(stage)
-        elif isinstance(stage, GateStage):
+        elif isinstance(stage, (GateStage, CompiledGateStage)):
+            if not isinstance(stage, CompiledGateStage):
+                # Raw planner stage (direct scheduler users / tests):
+                # lower it here; MemQSim pre-compiles the whole plan.
+                stage, _ = compile_stage(stage, self.layout,
+                                         self.compile_options)
             with self.telemetry.span("stage", index=si, kind="gate",
-                                     gates=len(stage.gates)):
+                                     ops=len(stage.ops),
+                                     gates=stage.source_gates):
                 self._run_gate_stage(stage, si)
         else:
             raise TypeError(f"unknown stage type {type(stage).__name__}")
@@ -279,36 +266,43 @@ class StageScheduler:
                 order.reverse()
         return order
 
-    def _run_gate_stage(self, stage: GateStage, si: int = -1) -> None:
+    def _run_gate_stage(self, stage: CompiledGateStage, si: int = -1) -> None:
         placement = self.layout.chunk_groups(stage.group_qubits)
         group_size = self.layout.chunk_size << len(placement.group_qubits)
         cpu_every = self._cpu_every()
         order = self._group_order(placement)
         for gi, members in order:
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
-            gates = self._gates_for_group(stage, placement, members[0])
+            ops = self._ops_for_group(stage, placement, members[0])
             with self.telemetry.span(
                 "group_pass", stage=si, group=gi,
                 path="cpu" if cpu_path else "device",
                 chunks=len(members), nbytes=group_size * 16,
             ):
                 if cpu_path:
-                    self._run_group_cpu(gi, members, gates, group_size)
+                    self._run_group_cpu(gi, members, ops, group_size)
                 else:
-                    self._run_group_device(gi, members, gates, group_size)
+                    self._run_group_device(gi, members, ops, group_size)
             self.stats.group_passes += 1
 
-    def _gates_for_group(self, stage: GateStage, placement: GroupPlacement,
-                         base_chunk: int) -> List[Gate]:
-        out = []
-        for g in stage.gates:
-            rg = remap_gate_for_group(g, self.layout, placement, base_chunk)
+    def _ops_for_group(self, stage: CompiledGateStage,
+                       placement: GroupPlacement,
+                       base_chunk: int) -> List[GateOp]:
+        """Remap the stage's compiled ops into this group's buffer frame.
+
+        Compilation (fusion) happened once per stage; the per-group step
+        relabels qubits to virtual positions and restricts diagonals by the
+        group's fixed chunk-id bits — that restriction differs per group,
+        which is why it cannot be folded into the stage-level compile.
+        """
+        out: List[GateOp] = []
+        for op in stage.ops:
+            rg = remap_gate_for_group(op.to_gate(), self.layout, placement,
+                                      base_chunk)
             if rg is None:
                 self.stats.gates_skipped_identity += 1
             else:
-                out.append(rg)
-        if self.fuse_gates:
-            out = _fuse_adjacent_1q(out)
+                out.append(GateOp(rg))
         return out
 
     def _load_group(self, gi: int, members: Tuple[int, ...], buf: np.ndarray) -> None:
@@ -329,16 +323,16 @@ class StageScheduler:
                                            chunk_id=chunk):
                 self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
 
-    def _device_update(self, gi: int, gates: List[Gate],
+    def _device_update(self, gi: int, ops: List[GateOp],
                        view: np.ndarray) -> None:
         """Upload -> kernels -> download for one already-staged group."""
         executor = self._executor_for(gi)
         dev = executor.alloc(view.shape[0])
         try:
             executor.upload(view, dev, gi)
-            if gates:
-                executor.run_gates(dev, gates, gi)
-                self.stats.gates_applied += len(gates)
+            if ops:
+                executor.run_ops(dev, ops, gi)
+                self.stats.gates_applied += len(ops)
             # One synchronous resource sample while the device buffer is
             # live, so the arena-occupancy series rises and falls per
             # group even when passes are shorter than the sample period.
@@ -347,35 +341,34 @@ class StageScheduler:
         finally:
             executor.free(dev)
 
-    def _cpu_update(self, gi: int, gates: List[Gate],
+    def _cpu_update(self, gi: int, ops: List[GateOp],
                     view: np.ndarray) -> None:
-        """Host-side kernel path for one already-staged group."""
+        """Host-side update path: same compiled ops, configured backend."""
         with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
                                        chunk=gi, nbytes=view.nbytes,
-                                       gates=len(gates)):
-            for g in gates:
-                apply_circuit_gate(view, g)
-        self.stats.gates_applied += len(gates)
+                                       gates=len(ops)):
+            self.backend.apply_ops(view, ops)
+        self.stats.gates_applied += len(ops)
         self.stats.cpu_group_passes += 1
 
     def _run_group_device(self, gi: int, members: Tuple[int, ...],
-                          gates: List[Gate], group_size: int) -> None:
+                          ops: List[GateOp], group_size: int) -> None:
         buf = self.pool.acquire()
         try:
             view = buf[:group_size]
             self._load_group(gi, members, view)
-            self._device_update(gi, gates, view)
+            self._device_update(gi, ops, view)
             self._store_group(gi, members, view)
         finally:
             self.pool.release(buf)
 
     def _run_group_cpu(self, gi: int, members: Tuple[int, ...],
-                       gates: List[Gate], group_size: int) -> None:
+                       ops: List[GateOp], group_size: int) -> None:
         buf = self.pool.acquire()
         try:
             view = buf[:group_size]
             self._load_group(gi, members, view)
-            self._cpu_update(gi, gates, view)
+            self._cpu_update(gi, ops, view)
             self._store_group(gi, members, view)
         finally:
             self.pool.release(buf)

@@ -7,21 +7,22 @@ contiguous array and applies gates through the vectorized kernels. It is
 * the "no compression, unlimited memory" baseline in the end-to-end
   benchmarks (experiment A3 in DESIGN.md).
 
-Optional adjacent single-qubit gate fusion (guide idiom: compute less) merges
-runs of 1q gates on the same qubit into one 2x2 matmul.
+Gate fusion is delegated to the shared compile layer
+(:func:`repro.compile.compile_gates`) — the same passes that lower the
+chunked pipeline's plan — so the dense baseline and MEMQSim execute
+identically-fused ops.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate
-from .kernels import apply_gate, apply_stored_diagonal, fuse_1q_matrices
+from .kernels import apply_gate, apply_stored_diagonal
 from .measurement import sample_counts
 from .statevector import StateVector
 
@@ -43,8 +44,10 @@ class DenseRunStats:
 class DenseSimulator:
     """Full in-memory state-vector simulator."""
 
-    def __init__(self, fuse_single_qubit_gates: bool = False):
+    def __init__(self, fuse_single_qubit_gates: bool = False,
+                 max_fuse_qubits: int = 3):
         self.fuse_single_qubit_gates = bool(fuse_single_qubit_gates)
+        self.max_fuse_qubits = int(max_fuse_qubits)
         self.last_stats: Optional[DenseRunStats] = None
 
     # -- public API -------------------------------------------------------
@@ -68,15 +71,18 @@ class DenseSimulator:
             peak_bytes=sv.nbytes,
         )
         t0 = time.perf_counter()
-        groups = self._plan(circuit)
-        stats.num_fused_groups = len(groups)
-        for kind, payload, qubits, name in groups:
+        ops = self._plan(circuit)
+        stats.num_fused_groups = len(ops)
+        for op in ops:
             g0 = time.perf_counter()
-            if kind == "diag":
-                apply_stored_diagonal(sv.data, payload, qubits)
+            d = op.diag
+            if d is not None:
+                apply_stored_diagonal(sv.data, d, op.qubits)
             else:
-                apply_gate(sv.data, payload, qubits, circuit.num_qubits)
+                apply_gate(sv.data, op.to_gate().matrix, op.qubits,
+                           circuit.num_qubits)
             dt = time.perf_counter() - g0
+            name = op.name
             stats.per_gate_seconds[name] = stats.per_gate_seconds.get(name, 0.0) + dt
         stats.wall_time_s = time.perf_counter() - t0
         self.last_stats = stats
@@ -99,39 +105,16 @@ class DenseSimulator:
     # -- planning ------------------------------------------------------------
 
     def _plan(self, circuit: Circuit):
-        """Return ``(kind, payload, qubits, name)`` records to execute.
+        """Lower the circuit to compiled ops (GateOp/FusedOp).
 
-        ``kind`` is ``"mat"`` (payload = unitary matrix) or ``"diag"``
-        (payload = stored diagonal vector). With fusion enabled, consecutive
-        single-qubit gates on the same qubit (with no intervening gate
-        touching that qubit) collapse into one matrix.
+        With fusion off every gate lowers 1:1; with fusion on the shared
+        compile passes fold 1q runs, merge diagonal runs, and fuse gate
+        windows up to ``max_fuse_qubits``-wide dense unitaries.
         """
+        # Runtime import: repro.compile imports this package's kernels.
+        from ..compile import CompileOptions, compile_gates
 
-        def record(g: Gate):
-            if g.diag is not None:
-                return ("diag", g.diag, g.qubits, g.name)
-            return ("mat", g.matrix, g.qubits, g.name)
-
-        if not self.fuse_single_qubit_gates:
-            return [record(g) for g in circuit]
-        out = []
-        pending: Dict[int, List[np.ndarray]] = {}
-
-        def flush(q: int) -> None:
-            mats = pending.pop(q, None)
-            if mats:
-                if len(mats) == 1:
-                    out.append(("mat", mats[0], (q,), "fused1q"))
-                else:
-                    out.append(("mat", fuse_1q_matrices(mats), (q,), "fused1q"))
-
-        for g in circuit:
-            if g.num_qubits == 1 and g.diag is None:
-                pending.setdefault(g.qubits[0], []).append(g.matrix)
-            else:
-                for q in g.qubits:
-                    flush(q)
-                out.append(record(g))
-        for q in list(pending):
-            flush(q)
-        return out
+        opts = CompileOptions(fusion=self.fuse_single_qubit_gates,
+                              max_fuse_qubits=self.max_fuse_qubits)
+        ops, _ = compile_gates(circuit.gates, opts)
+        return ops

@@ -1,0 +1,101 @@
+"""Fused-vs-unfused equivalence, per backend and end to end.
+
+Fusion reorders floating-point arithmetic (a folded 2x2 product is not
+the same op sequence), so fused-vs-unfused comparisons use ``allclose``
+at tight tolerance. Determinism *within* one compiled plan is absolute:
+the parallel-vs-serial harness must stay bit-identical with fusion on,
+because both engines execute the identical lowered ops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_workload
+from repro.compile import CompileOptions, compile_gates
+from repro.core import MemQSim, MemQSimConfig, get_backend
+from repro.parallel import run_equivalence
+
+WORKLOADS = ["qft", "grover", "qaoa"]
+
+
+def random_state(n, seed=3):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(1 << n) + 1j * rng.standard_normal(1 << n)
+    return v / np.linalg.norm(v)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["numpy", "einsum"])
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_fused_matches_unfused(self, backend, workload):
+        n = 6
+        circ = get_workload(workload, n)
+        ops, stats = compile_gates(circ.gates, CompileOptions(fusion=True))
+        assert stats["ops_out"] < stats["gates_in"]
+        be = get_backend(backend)
+        ref = random_state(n)
+        fused = ref.copy()
+        be.apply(ref, circ.gates)
+        be.apply_ops(fused, ops)
+        np.testing.assert_allclose(fused, ref, atol=1e-10)
+
+    def test_backends_agree_on_fused_ops(self):
+        n = 6
+        circ = get_workload("qft", n)
+        ops, _ = compile_gates(circ.gates, CompileOptions(fusion=True))
+        a = random_state(n)
+        b = a.copy()
+        get_backend("numpy").apply_ops(a, ops)
+        get_backend("einsum").apply_ops(b, ops)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_memqsim_fused_matches_unfused(self, workload):
+        circ = get_workload(workload, 8)
+        base = MemQSimConfig(chunk_qubits=4, compressor="zlib")
+        plain = MemQSim(base).run(circ)
+        fused = MemQSim(base.with_updates(fuse_gates=True)).run(circ)
+        assert fused.compile_report.ops_out < plain.compile_report.gates_in
+        assert (fused.scheduler_stats.gates_applied
+                < plain.scheduler_stats.gates_applied)
+        np.testing.assert_allclose(fused.statevector(), plain.statevector(),
+                                   atol=1e-10)
+
+    def test_einsum_backend_runs_fused_pipeline(self):
+        circ = get_workload("qft", 7)
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            fuse_gates=True, backend="einsum")
+        res = MemQSim(cfg).run(circ)
+        ref = MemQSim(MemQSimConfig(chunk_qubits=4, compressor="zlib")).run(circ)
+        np.testing.assert_allclose(res.statevector(), ref.statevector(),
+                                   atol=1e-10)
+
+    def test_cpu_offload_shares_compiled_ops(self):
+        circ = get_workload("qft", 8)
+        cfg = MemQSimConfig(chunk_qubits=4, compressor="zlib",
+                            fuse_gates=True, cpu_offload_fraction=1.0)
+        res = MemQSim(cfg).run(circ)
+        ref = MemQSim(MemQSimConfig(chunk_qubits=4, compressor="zlib")).run(circ)
+        assert res.scheduler_stats.cpu_group_passes > 0
+        np.testing.assert_allclose(res.statevector(), ref.statevector(),
+                                   atol=1e-10)
+
+
+class TestParallelBitIdentityWithFusion:
+    def test_run_equivalence_fusion_on(self):
+        """Serial and parallel engines consume one compiled plan:
+        bit-identical states and identical blobs, fusion included."""
+        rep = run_equivalence(get_workload("qft", 8), workers=2,
+                              chunk_qubits=4, compressor="zlib",
+                              fuse_gates=True)
+        assert rep.ok, rep.summary()
+        assert rep.state_max_abs_diff == 0.0
+
+    def test_run_equivalence_fusion_on_lossy_codec(self):
+        rep = run_equivalence(get_workload("grover", 8), workers=2,
+                              chunk_qubits=4, compressor="szlike",
+                              compressor_options={"error_bound": 1e-6},
+                              fuse_gates=True)
+        assert rep.ok, rep.summary()
