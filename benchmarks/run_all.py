@@ -35,6 +35,7 @@ EXPERIMENTS = {
     "A8": ("bench_entropy_vs_ratio", "fast"),
     "P1": ("bench_parallel_scaling", "slow"),
     "FU1": ("bench_fusion", "fast"),
+    "CD1": ("bench_codec", "fast"),
 }
 
 

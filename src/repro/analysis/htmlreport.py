@@ -296,6 +296,20 @@ def _compression_section(result, max_rows: int) -> str:
     if layout.num_chunks > max_rows:
         note = (f'<p class="note">first {max_rows} of {layout.num_chunks} '
                 f'chunks</p>')
+    # Entropy-stage breakdown across *all* chunks, sniffed from blob
+    # headers (SZL1-framed codecs only; others show nothing here).
+    from ..compression.szlike import blob_entropy
+    choices: dict = {}
+    for k in range(layout.num_chunks):
+        blob = store.get_blob(k)
+        if blob is None:
+            continue
+        choice = blob_entropy(blob)
+        if choice is not None:
+            choices[choice] = choices.get(choice, 0) + 1
+    if choices:
+        parts = ", ".join(f"{name}: {cnt}" for name, cnt in sorted(choices.items()))
+        note += f'<p class="note">entropy stage by chunk — {_esc(parts)}</p>'
     return (f'<table><tr><th>chunk</th><th>dense</th><th>compressed</th>'
             f'<th>ratio</th></tr>{"".join(rows)}</table>{note}')
 
@@ -328,9 +342,14 @@ def _metrics_section(result) -> str:
                 'no metrics snapshot.</p>')
     snap = result.metrics_snapshot()
     derived = snap.get("derived", {})
+    def _dval(v):
+        if v is None:
+            return "-"
+        # rate-style gauges (bytes/s) read better with thousands grouping
+        return f"{v:,.0f}" if v >= 1000 else f"{v:.3f}"
+
     drows = "".join(
-        f"<tr><td>{_esc(k)}</td>"
-        f"<td>{'-' if v is None else f'{v:.3f}'}</td></tr>"
+        f"<tr><td>{_esc(k)}</td><td>{_dval(v)}</td></tr>"
         for k, v in sorted(derived.items()))
     crows = "".join(
         f"<tr><td>{_esc(k)}</td><td>{_fmt(v)}</td></tr>"

@@ -12,7 +12,12 @@ from typing import Tuple
 
 import numpy as np
 
+from ..memory.bufferpool import scratch_pool
+
 __all__ = ["BitWriter", "BitReader", "pack_codes", "unpack_bits", "unpack_fields"]
+
+#: bound on the per-block bit-matrix footprint inside :func:`pack_codes`
+_PACK_BLOCK_BITS = 1 << 21
 
 
 class BitWriter:
@@ -59,15 +64,17 @@ class BitReader:
     def read(self, nbits: int) -> int:
         if nbits < 0 or nbits > self.bits_remaining:
             raise ValueError("read past end of bitstream")
-        out = 0
         pos = self._pos
-        for _ in range(nbits):
-            byte = self._data[pos >> 3]
-            bit = (byte >> (7 - (pos & 7))) & 1
-            out = (out << 1) | bit
-            pos += 1
-        self._pos = pos
-        return out
+        end = pos + nbits
+        first = pos >> 3
+        last = (end + 7) >> 3
+        # One arbitrary-precision read of the touched bytes, then drop the
+        # trailing bits past `end` and mask to the field width — no per-bit
+        # Python loop.
+        chunk = int.from_bytes(self._data[first:last], "big")
+        chunk >>= (last << 3) - end
+        self._pos = end
+        return chunk & ((1 << nbits) - 1)
 
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> Tuple[bytes, int]:
@@ -84,17 +91,28 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> Tuple[bytes, int]:
     if n == 0:
         return b"", 0
     max_len = int(lengths.max())
-    # Bit matrix: row i holds the top `max_len` bits of codeword i,
-    # MSB-aligned; bits beyond lengths[i] are masked off afterwards.
-    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
-    bits = ((codes[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    # A right-aligned codeword of length L occupies the last L of the
-    # max_len columns; everything before is padding to mask off.
+    if max_len == 0:
+        return b"", 0
+    lens64 = lengths.astype(np.int64)
+    ends = np.cumsum(lens64)
+    total_bits = int(ends[-1])
+    # Stream the bit matrix in bounded row blocks: each block builds a
+    # (rows x max_len) uint8 matrix — row i holds the top `max_len` bits of
+    # codeword i, MSB-aligned, with the padding columns before a length-L
+    # codeword masked off — and writes its valid bits into a reused flat
+    # bit buffer at the exact stream offsets, so the full n x max_len
+    # matrix is never materialized.
+    rows = max(1, _PACK_BLOCK_BITS // max_len)
+    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)[None, :]
     col = np.arange(max_len, dtype=np.int64)[None, :]
-    valid = col >= (max_len - lengths[:, None].astype(np.int64))
-    flat = bits[valid]
-    total_bits = int(flat.shape[0])
-    packed = np.packbits(flat)
+    with scratch_pool().borrow(total_bits, np.uint8) as flat:
+        for i0 in range(0, n, rows):
+            i1 = min(i0 + rows, n)
+            bits = ((codes[i0:i1, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+            valid = col >= (max_len - lens64[i0:i1, None])
+            lo = int(ends[i0 - 1]) if i0 else 0
+            flat[lo:int(ends[i1 - 1])] = bits[valid]
+        packed = np.packbits(flat)
     return packed.tobytes(), total_bits
 
 

@@ -23,33 +23,41 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..memory.bufferpool import scratch_pool
 from . import huffman
 from .interface import Compressor, register_compressor
 from .quantizer import (
-    dequantize,
     quantize,
     resolve_error_bound,
     unzigzag,
     zigzag,
 )
 
-__all__ = ["SZLikeCompressor"]
+__all__ = ["SZLikeCompressor", "blob_entropy"]
 
 _MAGIC = b"SZL1"
+_ADAPTIVE_MAGIC = b"ADP1"  # repro.compression.adaptive wrapper (inner at [5:])
 _FLAG_QUANT = 0
 _FLAG_RAW = 1
 
 _ENTROPY_ZLIB = 0
 _ENTROPY_HUFFMAN = 1
 
-#: Huffman is used only when the code alphabet is small enough that the
-#: per-bit Python decode loop stays cheap relative to the chunk size.
-_HUFFMAN_MAX_ALPHABET = 1 << 12
-_HUFFMAN_MAX_ELEMENTS = 1 << 14
+#: With the table-driven decoder (huffman._decode_lut) the entropy stage is
+#: vectorized end to end, so Huffman is viable at real chunk sizes — these
+#: caps now only guard the O(k log k) code construction and the per-blob
+#: symbol table (9 bytes/symbol), not a per-bit Python loop.
+_HUFFMAN_MAX_ALPHABET = 1 << 16
+_HUFFMAN_MAX_ELEMENTS = 1 << 21
+
+#: strided pre-probe size for entropy-mode selection: if a sample this large
+#: already shows more distinct symbols than the alphabet cap, the full
+#: (sorting) ``np.unique`` scan is skipped entirely.
+_ALPHABET_PROBE_SAMPLES = 1 << 12
 
 
 def _minimal_uint(zz: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -114,20 +122,29 @@ class SZLikeCompressor(Compressor):
     def compress(self, data: np.ndarray) -> bytes:
         data = np.ascontiguousarray(data, dtype=np.complex128)
         n = data.shape[0]
-        planes = np.concatenate([data.real, data.imag]) if n else np.empty(0)
-        try:
-            abs_bound = resolve_error_bound(planes, self._eb, self._mode)
-            q = quantize(planes, abs_bound)
-        except (OverflowError, FloatingPointError):
-            return self._raw_blob(data)
-        # Verify the bound against the *actual* reconstruction (dequantize is
-        # deterministic, so the decoder sees exactly these values). Product
-        # rounding can exceed eb by ~|x|*ulp for huge code magnitudes; those
-        # chunks escape to the exact raw path (SZ's unpredictable-data rule).
-        recon = q.codes.astype(np.float64) * (2.0 * q.abs_bound)
-        if planes.size and float(np.max(np.abs(planes - recon))) > q.abs_bound:
-            return self._raw_blob(data)
-        deltas = np.diff(q.codes, prepend=np.int64(0))
+        # The concatenated real/imag planes and the bound-check reconstruction
+        # are per-chunk scratch — borrow both from the process scratch pool so
+        # repeated chunk passes (and codec workers) recycle the allocations.
+        with scratch_pool().borrow(2 * n, np.float64) as planes, \
+                scratch_pool().borrow(2 * n, np.float64) as recon:
+            np.copyto(planes[:n], data.real)
+            np.copyto(planes[n:], data.imag)
+            try:
+                abs_bound = resolve_error_bound(planes, self._eb, self._mode)
+                q = quantize(planes, abs_bound)
+            except (OverflowError, FloatingPointError):
+                return self._raw_blob(data)
+            # Verify the bound against the *actual* reconstruction (dequantize
+            # is deterministic, so the decoder sees exactly these values).
+            # Product rounding can exceed eb by ~|x|*ulp for huge code
+            # magnitudes; those chunks escape to the exact raw path (SZ's
+            # unpredictable-data rule).
+            np.multiply(q.codes, 2.0 * q.abs_bound, out=recon)
+            np.subtract(planes, recon, out=recon)
+            np.abs(recon, out=recon)
+            if n and float(recon.max()) > q.abs_bound:
+                return self._raw_blob(data)
+            deltas = np.diff(q.codes, prepend=np.int64(0))
         zz = zigzag(deltas)
         payload, entropy_id = self._entropy_encode(zz)
         blob = (
@@ -149,19 +166,43 @@ class SZLikeCompressor(Compressor):
         ) + packed
 
     def _entropy_encode(self, zz: np.ndarray) -> Tuple[bytes, int]:
-        use_huffman = self._entropy == "huffman"
-        if self._entropy == "auto":
-            if zz.size and zz.size <= _HUFFMAN_MAX_ELEMENTS:
-                # Cheap alphabet probe on the zigzag stream. Degenerate
-                # single-symbol streams are left to zlib (its RLE beats a
-                # 1-bit-per-symbol Huffman floor).
-                uniq = np.unique(zz).size
-                use_huffman = 2 <= uniq <= _HUFFMAN_MAX_ALPHABET
-        if use_huffman:
+        if self._entropy == "huffman":
             return huffman.encode(zz.astype(np.int64)), _ENTROPY_HUFFMAN
+        zpay = self._zlib_payload(zz)
+        if self._entropy == "auto" and zz.size and \
+                zz.size <= _HUFFMAN_MAX_ELEMENTS:
+            # Three-tier probe on the zigzag stream, cheapest test first.
+            # Tier 1: distinct symbols in a strided sample only ever
+            # undercount the full alphabet, so a sample already past the
+            # cap rejects without the full sorting scan. Tier 2: the full
+            # np.unique; degenerate single-symbol streams stay with zlib
+            # (its RLE beats a 1-bit-per-symbol Huffman floor). Tier 3: the
+            # zeroth-order entropy bound predicts the Huffman payload
+            # (n*H/8 data + 9 bytes/symbol table) — only when it is in
+            # striking distance of the zlib payload is the encoder actually
+            # run, and the exact smaller payload wins, so `auto` is never
+            # worse than zlib. The unique triple is handed to the encoder
+            # so the stream is not sorted twice.
+            zz64 = zz.astype(np.int64)
+            stride = max(1, zz64.size // _ALPHABET_PROBE_SAMPLES)
+            if np.unique(zz64[::stride]).size <= _HUFFMAN_MAX_ALPHABET:
+                symbols, inverse, freqs = np.unique(
+                    zz64, return_inverse=True, return_counts=True)
+                if 2 <= symbols.size <= _HUFFMAN_MAX_ALPHABET:
+                    p = freqs / zz64.size
+                    h_bits = float(-(p * np.log2(p)).sum())
+                    est = zz64.size * h_bits / 8 + 9 * symbols.size + 16
+                    if est <= len(zpay) * 1.05:
+                        hpay = huffman.encode(
+                            zz64, alphabet=(symbols, inverse, freqs))
+                        if len(hpay) <= len(zpay):
+                            return hpay, _ENTROPY_HUFFMAN
+        return zpay, _ENTROPY_ZLIB
+
+    def _zlib_payload(self, zz: np.ndarray) -> bytes:
         narrow, _width = _minimal_uint(zz)
         width_tag = struct.pack("<B", narrow.dtype.itemsize)
-        return width_tag + zlib.compress(narrow.tobytes(), self._level), _ENTROPY_ZLIB
+        return width_tag + zlib.compress(narrow.tobytes(), self._level)
 
     # -- decompression -----------------------------------------------------------
 
@@ -176,8 +217,15 @@ class SZLikeCompressor(Compressor):
         zz = self._entropy_decode(payload, entropy_id, 2 * n)
         deltas = unzigzag(zz)
         codes = np.cumsum(deltas, dtype=np.int64)
-        planes = dequantize(codes, abs_bound)
-        return (planes[:n] + 1j * planes[n:]).astype(np.complex128)
+        out = np.empty(n, dtype=np.complex128)
+        # Same arithmetic as quantizer.dequantize (codes -> float64, one
+        # product), but into a pooled plane buffer and then component-wise
+        # into the output, skipping the intermediate complex temporaries.
+        with scratch_pool().borrow(2 * n, np.float64) as planes:
+            np.multiply(codes, 2.0 * abs_bound, out=planes)
+            out.real = planes[:n]
+            out.imag = planes[n:]
+        return out
 
     def _entropy_decode(self, payload: bytes, entropy_id: int, count: int) -> np.ndarray:
         if entropy_id == _ENTROPY_HUFFMAN:
@@ -189,6 +237,24 @@ class SZLikeCompressor(Compressor):
         dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[width]
         raw = zlib.decompress(payload[1:])
         return np.frombuffer(raw, dtype=dtype, count=count).astype(np.uint64)
+
+
+def blob_entropy(blob: bytes) -> Optional[str]:
+    """Sniff the entropy stage of an SZL1 blob from its header.
+
+    Returns ``"huffman"``, ``"zlib"``, or ``"raw"`` (the lossless escape);
+    ``None`` when the blob is not SZL1-framed. Adaptive-compressor wrappers
+    (``ADP1`` magic + tag byte) are looked through, so the chunk store can
+    attribute entropy choices without decompressing anything.
+    """
+    if blob[:4] == _ADAPTIVE_MAGIC:
+        blob = blob[5:]
+    if blob[:4] != _MAGIC or len(blob) < 6:
+        return None
+    flag, entropy_id = blob[4], blob[5]
+    if flag == _FLAG_RAW:
+        return "raw"
+    return "huffman" if entropy_id == _ENTROPY_HUFFMAN else "zlib"
 
 
 register_compressor(

@@ -6,19 +6,29 @@ footprint to ``num_buffers * buffer_size`` regardless of qubit count. The
 pool hands out preallocated complex128 arrays and takes them back; acquiring
 beyond capacity raises, which surfaces scheduling bugs instead of silently
 growing memory.
+
+:class:`ScratchPool` is the codec-side sibling: a size-classed recycling
+bin for the short-lived scratch arrays the entropy coder and the SZ-like
+pipeline would otherwise allocate per chunk (bit matrices, plane buffers,
+jump tables). Where :class:`BufferPool` enforces a fixed budget and strict
+accounting, the scratch pool only *recycles* — misses fall through to the
+allocator, and retention is capped so it can never hoard memory.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from typing import List, Optional, Set
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..telemetry import NULL_TELEMETRY, get_logger
 from .accounting import MemoryTracker
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "ScratchPool", "scratch_pool"]
 
 CATEGORY = "host_buffers"
 
@@ -104,3 +114,92 @@ class BufferPool:
             f"<BufferPool {self.num_buffers}x{self.buffer_size} "
             f"({self.in_use} in use, peak {self.peak_in_use})>"
         )
+
+
+class ScratchPool:
+    """Thread-safe freelist of reusable scratch arrays, size-classed.
+
+    ``borrow(n, dtype)`` yields a 1-D array of ``n`` elements backed by a
+    power-of-two byte buffer; on exit the buffer returns to its size-class
+    freelist for the next borrower. Contents are never cleared — borrowers
+    overwrite. Buffers whose return would push total retained bytes past
+    ``max_bytes`` are dropped instead (the cap bounds the pool, not the
+    workload). One freelist covers all dtypes: buffers are stored as raw
+    uint8 and re-viewed per borrow, so an int32 jump table and a float64
+    plane buffer of similar size recycle the same memory.
+    """
+
+    def __init__(self, max_bytes: int = 1 << 26):
+        self.max_bytes = int(max_bytes)
+        self._free: Dict[int, List[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.retained_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.drops = 0
+
+    @staticmethod
+    def _capacity(nbytes: int) -> int:
+        return 1 << max(8, (max(nbytes, 1) - 1).bit_length())
+
+    @contextmanager
+    def borrow(self, n: int, dtype):
+        """Context manager yielding a reusable ``(n,)`` array of ``dtype``."""
+        dtype = np.dtype(dtype)
+        nbytes = int(n) * dtype.itemsize
+        cap = self._capacity(nbytes)
+        with self._lock:
+            bucket = self._free.get(cap)
+            if bucket:
+                base = bucket.pop()
+                self.retained_bytes -= cap
+                self.hits += 1
+            else:
+                base = None
+                self.misses += 1
+        if base is None:
+            base = np.empty(cap, dtype=np.uint8)
+        try:
+            yield base[:nbytes].view(dtype)
+        finally:
+            with self._lock:
+                if self.retained_bytes + cap <= self.max_bytes:
+                    self._free.setdefault(cap, []).append(base)
+                    self.retained_bytes += cap
+                else:
+                    self.drops += 1
+
+    def clear(self) -> None:
+        """Drop every retained buffer (outstanding borrows are unaffected)."""
+        with self._lock:
+            self._free.clear()
+            self.retained_bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScratchPool retained={self.retained_bytes:,}B "
+            f"hits={self.hits} misses={self.misses} drops={self.drops}>"
+        )
+
+
+_SCRATCH: Optional[ScratchPool] = None
+_SCRATCH_PID = -1
+_SCRATCH_LOCK = threading.Lock()
+
+
+def scratch_pool() -> ScratchPool:
+    """The per-process scratch pool.
+
+    Keyed on the pid so a forked codec worker lazily creates its own pool
+    instead of sharing (copy-on-write) freelist state with the parent —
+    each :class:`~repro.parallel.pool.CodecWorkerPool` worker recycles
+    scratch across the jobs *it* runs, with no cross-process traffic.
+    """
+    global _SCRATCH, _SCRATCH_PID
+    pid = os.getpid()
+    if _SCRATCH is None or _SCRATCH_PID != pid:
+        with _SCRATCH_LOCK:
+            if _SCRATCH is None or _SCRATCH_PID != pid:
+                _SCRATCH = ScratchPool()
+                _SCRATCH_PID = pid
+    return _SCRATCH

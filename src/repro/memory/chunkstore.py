@@ -225,6 +225,7 @@ class CompressedChunkStore:
             tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
             if seconds:
                 tel.metrics.histogram("codec.compress.seconds").observe(seconds)
+            self._note_entropy(tel, blob)
         self._set_blob(chunk, blob)
 
     def note_decompressed(self, nbytes: int, seconds: float = 0.0) -> None:
@@ -250,7 +251,21 @@ class CompressedChunkStore:
             tel.metrics.counter("codec.compress.bytes_in").inc(data.nbytes)
             tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
             tel.metrics.histogram("codec.compress.seconds").observe(dt)
+            self._note_entropy(tel, blob)
         return blob
+
+    @staticmethod
+    def _note_entropy(tel, blob: bytes) -> None:
+        """Count which entropy stage the codec picked, sniffed per blob.
+
+        Works on the header alone, so worker-pool blobs (which arrive as
+        bytes via :meth:`put_blob`) are attributed parent-side too. Non-SZL1
+        codecs contribute nothing.
+        """
+        from ..compression.szlike import blob_entropy  # lazy: avoids import cycle
+        choice = blob_entropy(blob)
+        if choice is not None:
+            tel.metrics.counter(f"codec.entropy_choice.{choice}").inc()
 
     def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
         old = self._blobs[chunk]

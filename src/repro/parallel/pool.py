@@ -62,6 +62,11 @@ _WORKER_COMPRESSOR: Optional[Compressor] = None
 def _worker_init(payload: bytes) -> None:
     global _WORKER_COMPRESSOR
     _WORKER_COMPRESSOR = pickle.loads(payload)
+    # Instantiate this worker's scratch pool up front (it is pid-keyed, so a
+    # forked child would otherwise discard the parent's copied singleton on
+    # first codec call; warming it here keeps that off the first job's clock).
+    from ..memory.bufferpool import scratch_pool
+    scratch_pool()
 
 
 def _open_shm(name: str):

@@ -99,12 +99,35 @@ def apply_diagonal(buf: np.ndarray, diag: np.ndarray, qubits: Sequence[int]) -> 
         tensor[tuple(idx)] *= factor
 
 
+#: memoized wide-diagonal gather tables, keyed (num_qubits, qubits tuple).
+#: The chunk loop applies the same diagonal op to every chunk of a group, so
+#: the table is identical across calls; bounded so pathological gate variety
+#: cannot grow it without limit.
+_DIAG_GATHER_CACHE: dict = {}
+_DIAG_GATHER_CACHE_MAX = 64
+
+
+def _diag_gather_table(m: int, qubits: tuple) -> np.ndarray:
+    key = (m, qubits)
+    t = _DIAG_GATHER_CACHE.get(key)
+    if t is None:
+        idx = np.arange(1 << m, dtype=np.int64)
+        t = np.zeros_like(idx)
+        for j, q in enumerate(qubits):
+            t |= ((idx >> q) & 1) << j
+        if len(_DIAG_GATHER_CACHE) >= _DIAG_GATHER_CACHE_MAX:
+            _DIAG_GATHER_CACHE.clear()
+        _DIAG_GATHER_CACHE[key] = t
+    return t
+
+
 def apply_stored_diagonal(buf: np.ndarray, diag: np.ndarray,
                           qubits: Sequence[int]) -> None:
     """Apply a diagonal gate of any width, including the full register.
 
     Wide diagonals (e.g. Grover oracles over all qubits) use a vectorized
-    gather of the diagonal instead of ``2^k`` slice updates.
+    gather of the diagonal instead of ``2^k`` slice updates; the gather
+    index table is memoized across the per-chunk loop.
     """
     m = num_qubits_of(buf)
     k = len(qubits)
@@ -114,11 +137,7 @@ def apply_stored_diagonal(buf: np.ndarray, diag: np.ndarray,
     if tuple(qubits) == tuple(range(m)):
         buf *= diag
         return
-    idx = np.arange(buf.shape[0], dtype=np.int64)
-    t = np.zeros_like(idx)
-    for j, q in enumerate(qubits):
-        t |= ((idx >> q) & 1) << j
-    buf *= diag[t]
+    buf *= diag[_diag_gather_table(m, tuple(qubits))]
 
 
 def apply_circuit_gate(buf: np.ndarray, gate) -> None:

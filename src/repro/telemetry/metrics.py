@@ -229,20 +229,26 @@ class MetricsRegistry:
 
     def derived_gauges(self) -> Dict[str, Optional[float]]:
         """Gauges computed from the raw counters (so consumers stop
-        re-deriving them by hand): ``cache.hit_rate`` and
-        ``codec.compression_ratio``. ``None`` when the denominator is zero
-        (no cache lookups / nothing compressed yet)."""
+        re-deriving them by hand): ``cache.hit_rate``,
+        ``codec.compression_ratio``, and ``codec.decode_bytes_per_s``
+        (uncompressed bytes produced per second of codec decompress time).
+        ``None`` when the denominator is zero (no cache lookups / nothing
+        compressed or decompressed yet)."""
         def val(name: str) -> int:
             c = self._counters.get(name)
             return c.value if c is not None else 0
 
         looked = val("cache.hit") + val("cache.miss")
         bytes_out = val("codec.compress.bytes_out")
+        h = self._histograms.get("codec.decompress.seconds")
+        dec_s = h.total if h is not None else 0.0
         return {
             "cache.hit_rate": (val("cache.hit") / looked) if looked else None,
             "codec.compression_ratio":
                 (val("codec.compress.bytes_in") / bytes_out)
                 if bytes_out else None,
+            "codec.decode_bytes_per_s":
+                (val("codec.decompress.bytes") / dec_s) if dec_s > 0 else None,
         }
 
     def snapshot(self) -> Dict[str, Any]:
@@ -255,7 +261,8 @@ class MetricsRegistry:
         # first use) — empty/disabled registries keep the bare 3-section
         # shape.
         if any(n in self._counters for n in (
-                "cache.hit", "cache.miss", "codec.compress.bytes_out")):
+                "cache.hit", "cache.miss", "codec.compress.bytes_out",
+                "codec.decompress.bytes")):
             snap["derived"] = self.derived_gauges()
         return snap
 

@@ -83,6 +83,44 @@ class TestPackCodes:
         r = BitReader(packed)
         assert r.read(40) == 0x0F0F0F0F0F
 
+    def test_all_zero_lengths(self):
+        # blockfloat emits zero-width fields for all-zero planes; the block
+        # streamer must short-circuit instead of dividing by max_len == 0
+        packed, bits = pack_codes(
+            np.zeros(16, dtype=np.uint64), np.zeros(16, dtype=np.uint8))
+        assert packed == b"" and bits == 0
+
+    def test_stream_crossing_block_boundary_byte_identical(self):
+        # 2^19 length-8 codes = 4 Mbit, several _PACK_BLOCK_BITS blocks; the
+        # packed stream of byte-aligned fields is exactly the raw bytes
+        from repro.compression.bitstream import _PACK_BLOCK_BITS
+
+        n = (1 << 19) + 333
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 256, size=n).astype(np.uint64)
+        lengths = np.full(n, 8, dtype=np.uint8)
+        assert n * 8 > 2 * _PACK_BLOCK_BITS
+        packed, total = pack_codes(codes, lengths)
+        assert total == n * 8
+        assert packed == codes.astype(np.uint8).tobytes()
+
+    def test_mixed_lengths_crossing_block_boundary(self):
+        # unaligned fields spanning a block edge must match the sequential
+        # BitWriter reference bit for bit
+        from repro.compression.bitstream import _PACK_BLOCK_BITS
+
+        rng = np.random.default_rng(4)
+        lengths = rng.integers(1, 56, size=90_000).astype(np.uint8)
+        codes = (rng.integers(0, 1 << 62, size=90_000).astype(np.uint64)
+                 & ((np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1)))
+        assert int(lengths.sum()) > _PACK_BLOCK_BITS
+        packed, total = pack_codes(codes, lengths)
+        w = BitWriter()
+        for c, l in zip(codes, lengths):
+            w.write(int(c), int(l))
+        assert packed == w.getvalue()
+        assert total == int(lengths.astype(np.int64).sum())
+
     def test_unpack_bits_roundtrip(self):
         rng = np.random.default_rng(2)
         bits = rng.integers(0, 2, size=77).astype(np.uint8)

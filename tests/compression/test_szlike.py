@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.compression import SZLikeCompressor, get_compressor
+from repro.compression.szlike import blob_entropy
 from repro.compression.metrics import max_component_error
 
 
@@ -117,3 +118,63 @@ class TestBlobFormat:
 
     def test_describe(self):
         assert "szlike" in SZLikeCompressor().describe()
+
+
+class TestAutoEntropySelection:
+    """The lifted-caps `auto` mode: Huffman at real chunk sizes, never worse."""
+
+    def test_huffman_selected_at_chunk_scale(self):
+        # 2^16 elements was beyond the old _HUFFMAN_MAX_ELEMENTS = 2^12 cap;
+        # with the LUT decoder auto must now pick Huffman on smooth chunks
+        x = smooth_signal(1 << 16)
+        auto = SZLikeCompressor(error_bound=1e-5, entropy="auto")
+        assert blob_entropy(auto.compress(x)) == "huffman"
+
+    @pytest.mark.parametrize("seed,eb", [(0, 1e-6), (1, 1e-5), (2, 1e-4)])
+    def test_auto_never_worse_than_zlib(self, seed, eb):
+        # exact-size arbitration: whatever auto picks, the blob can only tie
+        # or beat a forced-zlib compressor on the same chunk
+        rng = np.random.default_rng(seed)
+        for x in (smooth_signal(1 << 14, seed=seed),
+                  (rng.standard_normal(1 << 14)
+                   + 1j * rng.standard_normal(1 << 14)) / 128.0):
+            auto = SZLikeCompressor(error_bound=eb, entropy="auto")
+            zl = SZLikeCompressor(error_bound=eb, entropy="zlib")
+            assert len(auto.compress(x)) <= len(zl.compress(x))
+
+    def test_wide_alphabet_stays_with_zlib(self):
+        # near-uniform noise under a tight bound explodes the delta alphabet
+        # past the probe, so auto keeps the zlib (or raw-escape) path
+        rng = np.random.default_rng(7)
+        x = (rng.standard_normal(1 << 14) + 1j * rng.standard_normal(1 << 14))
+        blob = SZLikeCompressor(error_bound=1e-9, entropy="auto").compress(x)
+        assert blob_entropy(blob) in ("zlib", "raw")
+
+
+class TestBlobEntropySniffer:
+    def test_forced_modes_are_reported(self):
+        x = smooth_signal(4096)
+        assert blob_entropy(
+            SZLikeCompressor(error_bound=1e-5, entropy="huffman").compress(x)
+        ) == "huffman"
+        assert blob_entropy(
+            SZLikeCompressor(error_bound=1e-5, entropy="zlib").compress(x)
+        ) == "zlib"
+
+    def test_raw_escape_is_reported(self):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        blob = SZLikeCompressor(error_bound=1e-14).compress(x)
+        assert blob_entropy(blob) == "raw"
+
+    def test_non_szl1_blob_is_none(self):
+        assert blob_entropy(b"XXXXnot a blob") is None
+        assert blob_entropy(b"") is None
+
+    def test_adaptive_wrapper_looked_through(self):
+        from repro.compression import get_compressor as _get
+        adaptive = _get("adaptive")
+        blob = adaptive.compress(smooth_signal(4096))
+        # may route to szlike or a lossless inner codec; the sniffer must
+        # either see through the wrapper or return None, never raise
+        assert blob_entropy(blob) in ("huffman", "zlib", "raw", None)

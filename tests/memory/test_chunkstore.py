@@ -210,3 +210,54 @@ class TestBlobAndBatchAPI:
         store.note_decompressed(256, seconds=0.005)
         assert store.stats.loads == before + 1
         assert store.stats.bytes_decompressed >= 256
+
+
+class TestEntropyChoiceCounters:
+    def test_store_counts_entropy_choice(self, random_state_fn):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        tracker = MemoryTracker()
+        lay = ChunkLayout(14, 13)  # one 2^13-amplitude chunk per store
+        store = CompressedChunkStore(
+            lay, get_compressor("szlike", error_bound=1e-5), tracker,
+            telemetry=tel)
+        store.init_from_statevector(random_state_fn(14, seed=5))
+        counts = {
+            name.rsplit(".", 1)[-1]: v
+            for name, v in tel.metrics.snapshot()["counters"].items()
+            if name.startswith("codec.entropy_choice.")
+        }
+        assert sum(counts.values()) == lay.num_chunks
+        assert set(counts) <= {"huffman", "zlib", "raw"}
+
+    def test_put_blob_counts_parent_side(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        lay = ChunkLayout(6, 3)
+        comp = get_compressor("szlike", error_bound=1e-5)
+        store = CompressedChunkStore(lay, comp, MemoryTracker(), telemetry=tel)
+        store.init_zero_state()
+        def total():
+            return sum(
+                v for name, v in tel.metrics.snapshot()["counters"].items()
+                if name.startswith("codec.entropy_choice."))
+
+        before = total()
+        data = np.exp(1j * np.linspace(0, 2, 8)).astype(np.complex128)
+        data /= np.linalg.norm(data)
+        store.put_blob(1, comp.compress(data), seconds=0.0, data_nbytes=128)
+        assert total() == before + 1
+
+    def test_non_szl1_codec_contributes_nothing(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        lay = ChunkLayout(6, 3)
+        store = CompressedChunkStore(
+            lay, get_compressor("zlib"), MemoryTracker(), telemetry=tel)
+        store.init_zero_state()
+        assert not any(
+            name.startswith("codec.entropy_choice.")
+            for name in tel.metrics.snapshot()["counters"])

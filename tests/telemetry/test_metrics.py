@@ -155,3 +155,23 @@ class TestNullMetrics:
     def test_enabled_flags(self):
         assert MetricsRegistry().enabled is True
         assert NullMetrics().enabled is False
+
+
+class TestDerivedGauges:
+    def test_decode_bytes_per_s(self):
+        reg = MetricsRegistry()
+        reg.counter("codec.decompress.bytes").inc(8_000_000)
+        reg.histogram("codec.decompress.seconds").observe(2.0)
+        derived = reg.derived_gauges()
+        assert derived["codec.decode_bytes_per_s"] == pytest.approx(4_000_000)
+
+    def test_decode_rate_absent_without_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("codec.decompress.bytes").inc(100)
+        assert reg.derived_gauges().get("codec.decode_bytes_per_s") is None
+
+    def test_decode_rate_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("codec.decompress.bytes").inc(10)
+        reg.histogram("codec.decompress.seconds").observe(0.5)
+        assert "codec.decode_bytes_per_s" in reg.snapshot()["derived"]
