@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "P1": ("bench_parallel_scaling", "slow"),
     "FU1": ("bench_fusion", "fast"),
     "CD1": ("bench_codec", "fast"),
+    "LV1": ("bench_live_overhead", "fast"),
 }
 
 

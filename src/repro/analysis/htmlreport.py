@@ -364,6 +364,30 @@ def _metrics_section(result) -> str:
     return out
 
 
+def _events_section(result, max_rows: int = 200) -> str:
+    """The live bus's retained event tail as a timeline table."""
+    bus = getattr(result.telemetry, "bus", None)
+    if bus is None or not getattr(bus, "enabled", False) or not len(bus):
+        return ('<p class="note">no live events captured (telemetry '
+                'disabled or the event bus saw no traffic).</p>')
+    events = bus.tail(max_rows)
+    dropped = bus.dropped
+    head = ""
+    if bus.published > len(events):
+        head = (f'<p class="note">showing the last {len(events)} of '
+                f'{bus.published} events'
+                + (f" ({dropped} dropped by the bounded ring)"
+                   if dropped else "") + ".</p>")
+    rows = "".join(
+        f"<tr><td>{ev.t * 1e3:,.2f}</td><td>{_esc(ev.kind)}</td>"
+        f"<td>{_esc(' '.join(f'{k}={v}' for k, v in ev.data.items()))}</td>"
+        f"</tr>"
+        for ev in events)
+    return (head + '<details open><summary>event timeline</summary>'
+            '<table><tr><th>t (ms)</th><th>event</th><th>data</th></tr>'
+            f'{rows}</table></details>')
+
+
 # -- the document --------------------------------------------------------------
 
 
@@ -408,6 +432,8 @@ def render_html(result, *, title: str = "MEMQSim run report",
         _compile_section(result),
         "<h2>Metrics</h2>",
         _metrics_section(result),
+        "<h2>Live events</h2>",
+        _events_section(result),
     ]
     return (f"<!doctype html><html><head><meta charset=\"utf-8\">"
             f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"

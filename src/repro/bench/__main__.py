@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     checkp.add_argument("--warn-only", action="store_true",
                         help="report regressions without failing (schema "
                              "errors still fail)")
+    checkp.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="FILE",
+                        help="emit the machine-readable comparison report "
+                             "(to FILE, or to stdout instead of the table "
+                             "when no FILE given); exit code is unchanged")
 
     up = sub.add_parser("update", help="promote current results to baselines")
     common(up)
@@ -95,16 +100,51 @@ def _comparison_table(reports: List[CompareReport]) -> Table:
     return t
 
 
+def _check_payload(reports: List[CompareReport], args,
+                   exit_code: int) -> dict:
+    """The ``check --json`` document: per-metric verdicts + the decision."""
+    from .schema import SCHEMA_VERSION
+
+    return {
+        "schema": f"{SCHEMA_VERSION}/check",
+        "default_tolerance": args.tolerance,
+        "warn_only": bool(args.warn_only),
+        "exit_code": exit_code,
+        "counts": {
+            "checked": len(reports),
+            "ok": sum(1 for r in reports if r.status == "ok"),
+            "regressions": sum(1 for r in reports
+                               if r.status == "regression"
+                               and not r.host_mismatch),
+            "advisory_regressions": sum(1 for r in reports
+                                        if r.status == "regression"
+                                        and r.host_mismatch),
+            "no_baseline": sum(1 for r in reports
+                               if r.status == "no-baseline"),
+            "schema_errors": sum(1 for r in reports
+                                 if r.status == "schema-error"),
+        },
+        "experiments": [r.to_dict() for r in reports],
+    }
+
+
 def _cmd_check(args) -> int:
     reports = compare_directories(args.results, args.baselines,
                                   default_tolerance=args.tolerance,
                                   only=_only(args))
+    json_stdout = args.json == "-"
     if not reports:
-        print(f"no BENCH_*.json records found in {args.results}")
-        print("run `python benchmarks/run_all.py` (or any bench module) "
-              "first")
+        if json_stdout:
+            import json as _json
+
+            print(_json.dumps(_check_payload([], args, 1), indent=2))
+        else:
+            print(f"no BENCH_*.json records found in {args.results}")
+            print("run `python benchmarks/run_all.py` (or any bench module) "
+                  "first")
         return 1
-    print(_comparison_table(reports).render())
+    if not json_stdout:
+        print(_comparison_table(reports).render())
     schema_errors = [r for r in reports if r.status == "schema-error"]
     gating = [r for r in reports
               if r.status == "regression" and not r.host_mismatch]
@@ -112,27 +152,41 @@ def _cmd_check(args) -> int:
                 if r.status == "regression" and r.host_mismatch]
     missing = [r for r in reports if r.status == "no-baseline"]
 
-    for r in schema_errors:
-        print(f"SCHEMA ERROR [{r.experiment}]:", *r.notes, sep="\n  ")
-    for r in missing:
-        print(f"note [{r.experiment}]: {r.notes[0]}")
-    for bucket, label in ((gating, "REGRESSION"), (advisory, "warning")):
-        for r in bucket:
-            for m in r.regressions:
-                print(f"{label} [{r.experiment}] {m.describe()}")
+    if not json_stdout:
+        for r in schema_errors:
+            print(f"SCHEMA ERROR [{r.experiment}]:", *r.notes, sep="\n  ")
+        for r in missing:
+            print(f"note [{r.experiment}]: {r.notes[0]}")
+        for bucket, label in ((gating, "REGRESSION"), (advisory, "warning")):
+            for r in bucket:
+                for m in r.regressions:
+                    print(f"{label} [{r.experiment}] {m.describe()}")
 
     if schema_errors:
-        return 2
-    if gating and not args.warn_only:
-        return 1
-    if gating and args.warn_only:
-        print(f"(--warn-only: {sum(len(r.regressions) for r in gating)} "
-              f"regression(s) reported but not gating)")
-    ok = sum(1 for r in reports if r.status == "ok")
-    print(f"checked {len(reports)} experiment(s): {ok} ok, "
-          f"{len(gating) + len(advisory)} regressed, "
-          f"{len(missing)} without baseline")
-    return 0
+        code = 2
+    elif gating and not args.warn_only:
+        code = 1
+    else:
+        code = 0
+    if not json_stdout:
+        if gating and args.warn_only:
+            print(f"(--warn-only: {sum(len(r.regressions) for r in gating)} "
+                  f"regression(s) reported but not gating)")
+        ok = sum(1 for r in reports if r.status == "ok")
+        print(f"checked {len(reports)} experiment(s): {ok} ok, "
+              f"{len(gating) + len(advisory)} regressed, "
+              f"{len(missing)} without baseline")
+    if args.json:
+        import json as _json
+
+        payload = _json.dumps(_check_payload(reports, args, code), indent=2)
+        if json_stdout:
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"comparison JSON written: {args.json}")
+    return code
 
 
 def _cmd_update(args) -> int:

@@ -79,6 +79,21 @@ class MetricComparison:
                 f"({pct:+.1f}%, tol ±{self.tolerance * 100:.0f}%, "
                 f"{self.direction} is better)")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """This verdict as plain data (the ``check --json`` payload)."""
+        rel = self.rel_change
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline": self.baseline,
+            "current": self.current,
+            "rel_change": rel if rel is None or abs(rel) != float("inf")
+            else None,
+            "tolerance": self.tolerance,
+            "direction": self.direction,
+            "unit": self.unit,
+        }
+
 
 @dataclass
 class CompareReport:
@@ -110,6 +125,22 @@ class CompareReport:
                 "improved: " + ", ".join(m.name for m in self.improvements))
         tail = f" ({'; '.join(flags)})" if flags else ""
         return f"[{self.experiment}] {self.status}{tail}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole experiment verdict as plain data.
+
+        ``host_mismatch`` regressions are advisory, not gating — consumers
+        (CI, decision engines) should combine ``status`` with
+        ``host_mismatch`` exactly like the text gate does.
+        """
+        return {
+            "experiment": self.experiment,
+            "status": self.status,
+            "host_mismatch": self.host_mismatch,
+            "gating": self.status == "regression" and not self.host_mismatch,
+            "notes": list(self.notes),
+            "metrics": [m.to_dict() for m in self.metrics],
+        }
 
 
 def _hosts_match(a: Dict[str, Any], b: Dict[str, Any]) -> bool:

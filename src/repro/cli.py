@@ -14,6 +14,8 @@ Commands:
 * ``report`` — run a workload with telemetry + resource monitoring forced
   on and render a self-contained HTML run report (stage timeline, memory
   curve, compression table — no external assets, opens from ``file://``).
+* ``top`` — live terminal dashboard for a running simulation: polls the
+  ``/progress`` endpoint of a run started with ``--serve-metrics``.
 
 Examples::
 
@@ -25,6 +27,8 @@ Examples::
     python -m repro plan grover -n 12 --chunk-qubits 6
     python -m repro trace qft -n 12 --trace-out qft.trace.json
     python -m repro report qft -n 12 -o qft.report.html
+    python -m repro run qft -n 15 --monitor --serve-metrics 9644 --live
+    python -m repro top --port 9644
 """
 
 from __future__ import annotations
@@ -141,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     repp.add_argument("-o", "--out", metavar="FILE",
                       help="output path (default <workload>.report.html)")
     repp.add_argument("--title", help="report title")
+
+    topp = sub.add_parser(
+        "top",
+        help="live dashboard for a running simulation (polls /progress of "
+             "a run started with --serve-metrics)")
+    topp.add_argument("--url", default=None, metavar="URL",
+                      help="telemetry server base URL "
+                           "(default http://127.0.0.1:9644)")
+    topp.add_argument("--port", type=int, default=None,
+                      help="shorthand for --url http://127.0.0.1:PORT")
+    topp.add_argument("--interval", type=float, default=1.0, metavar="S",
+                      help="poll period in seconds (default 1)")
+    topp.add_argument("--once", action="store_true",
+                      help="render one frame and exit (scripting/tests)")
     return p
 
 
@@ -192,6 +210,16 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
                    type=str.lower, metavar="LEVEL",
                    help="enable repro.* logging at this level "
                         "(debug/info/warning/error/critical)")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve /metrics (Prometheus), /progress (JSON) and "
+                        "/events (SSE) on this port for the run's duration "
+                        "(0 = ephemeral port, printed at startup)")
+    p.add_argument("--live", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="render a live ANSI dashboard (progress bar, ETA, "
+                        "resource sparklines, event tail) during the run")
+    p.add_argument("--events-out", metavar="FILE",
+                   help="write the run's retained bus events as JSONL")
 
 
 def _load_circuit(args):
@@ -208,6 +236,7 @@ def _telemetry_from_args(args, force: bool = False) -> Telemetry:
     # Fail on unwritable output locations *before* the simulation runs,
     # not after minutes of work.
     for path in (args.trace_out, args.jsonl_out, args.metrics_out,
+                 getattr(args, "events_out", None),
                  getattr(args, "json", None)):
         if path and path != "-":
             parent = os.path.dirname(os.path.abspath(path))
@@ -217,7 +246,10 @@ def _telemetry_from_args(args, force: bool = False) -> Telemetry:
     if args.log_level:
         configure_logging(args.log_level)
     want = force or bool(args.trace_out or args.jsonl_out or args.metrics_out
-                         or getattr(args, "monitor", False))
+                         or getattr(args, "monitor", False)
+                         or getattr(args, "serve_metrics", None) is not None
+                         or getattr(args, "live", False)
+                         or getattr(args, "events_out", None))
     return Telemetry() if want else NULL_TELEMETRY
 
 
@@ -241,6 +273,11 @@ def _export_telemetry(tel: Telemetry, args) -> None:
     if args.metrics_out:
         nb = tel.metrics.write_json(args.metrics_out)
         print(f"metrics written: {args.metrics_out} ({format_bytes(nb)})")
+    if getattr(args, "events_out", None):
+        n = tel.bus.write_jsonl(args.events_out)
+        dropped = tel.bus.dropped
+        note = f", {dropped} older dropped by the ring" if dropped else ""
+        print(f"event JSONL written: {args.events_out} ({n} events{note})")
 
 
 def _cmd_run(args) -> int:
@@ -273,55 +310,80 @@ def _cmd_run(args) -> int:
         print("autotune probe:")
         print(rep.table())
         cfg = cfg.with_updates(chunk_qubits=rep.best_chunk_qubits)
-    res = MemQSim(cfg, telemetry=tel).run(circuit, checkpoint=args.checkpoint)
     json_stdout = args.json == "-"
-    payload = res.to_dict() if args.json else None
+    server = dashboard = None
+    if args.serve_metrics is not None:
+        from .telemetry.live import TelemetryServer
 
-    counts = fidelity = None
-    if args.shots:
-        counts = res.sample(args.shots, seed=args.seed)
-    if args.compare_dense and circuit.num_qubits <= 20:
-        from .statevector import DenseSimulator
-
-        ref = DenseSimulator().run(circuit)
-        fidelity = res.fidelity_vs(ref.data)
-    if payload is not None:
-        if counts is not None:
-            payload["counts"] = counts
-        if fidelity is not None:
-            payload["fidelity_vs_dense"] = fidelity
-
-    if not json_stdout:
-        print(res.report())
-        if counts is not None:
-            top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
-            print("\ntop outcomes:")
-            for bits, cnt in top:
-                print(f"  |{bits}>  {cnt}")
-        if args.compare_dense:
-            if fidelity is None:
-                print("\n(dense comparison skipped: too many qubits)")
-            else:
-                print(f"\nfidelity vs dense: {fidelity:.12f}")
-        if args.json:
-            with open(args.json, "w") as fh:
-                json.dump(payload, fh, indent=2)
-            print(f"result JSON written: {args.json}")
-        _export_telemetry(tel, args)
-    if args.save_state:
-        nb = res.save_state(args.save_state)
+        server = TelemetryServer(tel, port=args.serve_metrics).start()
         if not json_stdout:
-            print(f"\ncheckpoint written: {args.save_state} "
-                  f"({format_bytes(nb)})")
-    if json_stdout:
-        # Exports still happen, but only the JSON document reaches stdout.
-        import contextlib
-        import io
+            print(f"telemetry server: {server.url} "
+                  "(/metrics /progress /events)")
+    if args.live:
+        from .telemetry.dashboard import LiveDashboard
 
-        with contextlib.redirect_stdout(io.StringIO()):
+        dashboard = LiveDashboard(tel).start()
+    try:
+        res = MemQSim(cfg, telemetry=tel).run(circuit,
+                                              checkpoint=args.checkpoint)
+        if dashboard is not None:
+            dashboard.stop()  # final frame shows exactly 100%
+            dashboard = None
+        payload = res.to_dict() if args.json else None
+
+        counts = fidelity = None
+        if args.shots:
+            counts = res.sample(args.shots, seed=args.seed)
+        if args.compare_dense and circuit.num_qubits <= 20:
+            from .statevector import DenseSimulator
+
+            ref = DenseSimulator().run(circuit)
+            fidelity = res.fidelity_vs(ref.data)
+        if payload is not None:
+            if counts is not None:
+                payload["counts"] = counts
+            if fidelity is not None:
+                payload["fidelity_vs_dense"] = fidelity
+
+        if not json_stdout:
+            print(res.report())
+            if counts is not None:
+                top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
+                print("\ntop outcomes:")
+                for bits, cnt in top:
+                    print(f"  |{bits}>  {cnt}")
+            if args.compare_dense:
+                if fidelity is None:
+                    print("\n(dense comparison skipped: too many qubits)")
+                else:
+                    print(f"\nfidelity vs dense: {fidelity:.12f}")
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(payload, fh, indent=2)
+                print(f"result JSON written: {args.json}")
             _export_telemetry(tel, args)
-        print(json.dumps(payload, indent=2))
-    return 0
+        if args.save_state:
+            nb = res.save_state(args.save_state)
+            if not json_stdout:
+                print(f"\ncheckpoint written: {args.save_state} "
+                      f"({format_bytes(nb)})")
+        if json_stdout:
+            # Exports still happen, but only the JSON document reaches
+            # stdout.
+            import contextlib
+            import io
+
+            with contextlib.redirect_stdout(io.StringIO()):
+                _export_telemetry(tel, args)
+            print(json.dumps(payload, indent=2))
+        return 0
+    finally:
+        # The server outlives the simulation through reporting, so late
+        # pollers observe the finished (fraction == 1.0) progress state.
+        if dashboard is not None:
+            dashboard.stop()
+        if server is not None:
+            server.stop()
 
 
 def _cmd_workloads(_args) -> int:
@@ -445,6 +507,21 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    """Attach the remote dashboard to a --serve-metrics run."""
+    from .telemetry.dashboard import top
+    from .telemetry.live import DEFAULT_PORT
+
+    if args.url and args.port is not None:
+        raise SystemExit("top: pass --url or --port, not both")
+    url = args.url or f"http://127.0.0.1:{args.port or DEFAULT_PORT}"
+    try:
+        return top(url, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -454,6 +531,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

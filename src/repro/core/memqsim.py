@@ -26,6 +26,7 @@ Example::
 from __future__ import annotations
 
 import time
+import uuid
 from typing import Optional
 
 import numpy as np
@@ -43,11 +44,14 @@ from ..pipeline.planner import describe_plan, max_group_qubits_for, plan_stages
 from ..pipeline.scheduler import StageScheduler
 from ..statevector.statevector import StateVector
 from ..telemetry import (
+    NULL_PROGRESS,
     NULL_RESOURCE_MONITOR,
     NULL_TELEMETRY,
+    ProgressTracker,
     ResourceMonitor,
     Telemetry,
     get_logger,
+    set_run_id,
 )
 from .backend import get_backend
 from .config import MemQSimConfig
@@ -102,6 +106,8 @@ class MemQSim:
         """
         cfg = self.config
         tel = self.telemetry
+        run_id = uuid.uuid4().hex[:12]
+        set_run_id(run_id)  # log records now carry [run_id/span]
         monitor = NULL_RESOURCE_MONITOR
         if tel.enabled and cfg.monitor_interval_ms > 0:
             monitor = ResourceMonitor(
@@ -109,18 +115,25 @@ class MemQSim:
             tel.monitor = monitor
         try:
             return self._run(circuit, initial_state, checkpoint,
-                             initial_store, monitor)
+                             initial_store, monitor, run_id)
         finally:
             monitor.stop()  # idempotent; real stop happens pre-result
             if monitor is not NULL_RESOURCE_MONITOR:
                 tel.monitor = NULL_RESOURCE_MONITOR
+            # Freeze the progress clock on every exit path. The finished
+            # tracker stays attached so post-run exposition (/metrics,
+            # final dashboard frame) reports exactly 1.0; the next run
+            # swaps in a fresh tracker.
+            tel.progress.finish()
+            set_run_id("")
 
     def _run(self, circuit, initial_state, checkpoint, initial_store,
-             monitor) -> MemQSimResult:
+             monitor, run_id: str = "") -> MemQSimResult:
         cfg = self.config
         tel = self.telemetry
         n = circuit.num_qubits
         t_wall = time.perf_counter()
+        tel.emit("run.start", run_id=run_id, n=n, gates=len(circuit))
         given = sum(
             x is not None for x in (initial_state, checkpoint, initial_store)
         )
@@ -197,6 +210,10 @@ class MemQSim:
                               stages=plan.num_stages,
                               group_passes=plan.group_passes,
                               chunk_qubits=c)
+            # The compiled plan fixes the whole schedule, so total work is
+            # exact from here on — attach the run's plan-aware tracker.
+            tel.progress = ProgressTracker.from_plan(
+                cplan.stages, layout, run_id=run_id).start()
         log.debug("offline: %d stages, %d group passes, chunk_qubits=%d",
                   plan.num_stages, plan.group_passes, c)
 
@@ -290,7 +307,9 @@ class MemQSim:
         # Close the resource timeline before timing stops so the final
         # sample (store recompressed, arena drained) is part of the record.
         monitor.stop()
+        tel.progress.finish()
         wall = time.perf_counter() - t_wall
+        tel.emit("run.end", run_id=run_id, n=n, seconds=wall)
         model = PipelineModel(
             cpu_codec_lanes=max(1, cfg.host.cores - 1),
             cpu_idle_lanes=max(1, cfg.host.idle_cores),
@@ -334,6 +353,7 @@ class MemQSim:
             config_echo=config_echo,
             resource_timeline=monitor.timeline(),
             compile_report=cplan.report,
+            run_id=run_id,
         )
 
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):

@@ -50,6 +50,9 @@ class MemQSimResult:
     #: ops out, per-pass fusion counts; ``None`` for results built outside
     #: :class:`~repro.core.memqsim.MemQSim` (e.g. hand-assembled in tests)
     compile_report: Optional[Any] = field(default=None, repr=False)
+    #: the run's id — the same value stamped on log records and live bus
+    #: events, so post-hoc artifacts correlate with live observability
+    run_id: str = ""
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -281,6 +284,7 @@ class MemQSimResult:
 
         out: Dict[str, Any] = {
             "num_qubits": self.num_qubits,
+            "run_id": self.run_id,
             "config": self.config_summary,
             "config_echo": dict(self.config_echo),
             "wall_seconds": self.wall_seconds,

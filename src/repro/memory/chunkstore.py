@@ -266,6 +266,7 @@ class CompressedChunkStore:
         choice = blob_entropy(blob)
         if choice is not None:
             tel.metrics.counter(f"codec.entropy_choice.{choice}").inc()
+            tel.emit("codec.choice", entropy=choice, nbytes=len(blob))
 
     def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
         old = self._blobs[chunk]

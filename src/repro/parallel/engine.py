@@ -112,6 +112,11 @@ class ParallelStageScheduler(StageScheduler):
                 self.pool.release(buf)
                 self._drain_stores(pending, block=False)
                 self.stats.group_passes += 1
+                self.telemetry.progress.group_done(si)
+                self.telemetry.emit("group", stage=si, group=gi,
+                                    chunks=len(members),
+                                    path="cpu" if cpu_path else "device",
+                                    parallel=True)
         finally:
             if prefetch is not None:
                 nbuf, jobs = prefetch

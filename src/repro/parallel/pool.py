@@ -445,6 +445,13 @@ class CodecWorkerPool:
                 f"worker.{job.kind}", res.seconds,
                 wall_start=res.wall_start, tid=tid,
                 key=job.key, pid=res.worker_pid, cat="parallel")
+            # Forward the worker-measured job onto the live bus, re-anchored
+            # from the child's wall clock onto the parent's event axis.
+            bus = getattr(tel, "bus", None)
+            if bus is not None and bus.enabled:
+                bus.publish_at(res.wall_start, f"worker.{job.kind}",
+                               key=job.key, pid=res.worker_pid,
+                               seconds=res.seconds)
 
 
 def auto_workers(compressor: Compressor, chunk_size: int,

@@ -214,19 +214,28 @@ class StageScheduler:
     def run_stage(self, stage) -> None:
         si = self._stage_index
         self._stage_index += 1
+        tel = self.telemetry
         if isinstance(stage, PermutationStage):
-            with self.telemetry.span("stage", index=si, kind="permutation"):
+            tel.emit("stage.start", index=si, kind="permutation")
+            tel.progress.stage_started(si)
+            with tel.span("stage", index=si, kind="permutation"):
                 self._run_permutation(stage)
+            tel.progress.group_done(si)
+            tel.emit("stage.end", index=si, kind="permutation")
         elif isinstance(stage, (GateStage, CompiledGateStage)):
             if not isinstance(stage, CompiledGateStage):
                 # Raw planner stage (direct scheduler users / tests):
                 # lower it here; MemQSim pre-compiles the whole plan.
                 stage, _ = compile_stage(stage, self.layout,
                                          self.compile_options)
-            with self.telemetry.span("stage", index=si, kind="gate",
-                                     ops=len(stage.ops),
-                                     gates=stage.source_gates):
+            tel.emit("stage.start", index=si, kind="gate",
+                     ops=len(stage.ops), gates=stage.source_gates)
+            tel.progress.stage_started(si)
+            with tel.span("stage", index=si, kind="gate",
+                          ops=len(stage.ops),
+                          gates=stage.source_gates):
                 self._run_gate_stage(stage, si)
+            tel.emit("stage.end", index=si, kind="gate")
         else:
             raise TypeError(f"unknown stage type {type(stage).__name__}")
 
@@ -284,6 +293,10 @@ class StageScheduler:
                 else:
                     self._run_group_device(gi, members, ops, group_size)
             self.stats.group_passes += 1
+            self.telemetry.progress.group_done(si)
+            self.telemetry.emit("group", stage=si, group=gi,
+                                chunks=len(members),
+                                path="cpu" if cpu_path else "device")
 
     def _ops_for_group(self, stage: CompiledGateStage,
                        placement: GroupPlacement,
@@ -335,8 +348,9 @@ class StageScheduler:
                 self.stats.gates_applied += len(ops)
             # One synchronous resource sample while the device buffer is
             # live, so the arena-occupancy series rises and falls per
-            # group even when passes are shorter than the sample period.
-            self.telemetry.monitor.sample_once()
+            # group even when passes are shorter than the sample period
+            # (rate-limited to the monitor's own interval).
+            self.telemetry.monitor.poke()
             executor.download(dev, view, gi)
         finally:
             executor.free(dev)

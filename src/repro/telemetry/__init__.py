@@ -27,7 +27,21 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional
 
-from .logutil import configure_logging, get_logger, log
+from .events import (
+    DEFAULT_BUS_CAPACITY,
+    NULL_EVENT_BUS,
+    EventBus,
+    NullEventBus,
+    Subscription,
+    TelemetryEvent,
+)
+from .logutil import (
+    configure_logging,
+    current_run_id,
+    get_logger,
+    log,
+    set_run_id,
+)
 from .metrics import (
     DEFAULT_BYTES_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
@@ -39,6 +53,12 @@ from .metrics import (
     Timer,
 )
 from .monitor import NULL_RESOURCE_MONITOR, NullResourceMonitor, ResourceMonitor
+from .progress import (
+    NULL_PROGRESS,
+    NullProgressTracker,
+    ProgressTracker,
+    StageProgress,
+)
 from .tracer import NullTracer, Span, Tracer
 
 __all__ = [
@@ -58,9 +78,21 @@ __all__ = [
     "Timer",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_BYTES_BUCKETS",
+    "TelemetryEvent",
+    "EventBus",
+    "NullEventBus",
+    "NULL_EVENT_BUS",
+    "Subscription",
+    "DEFAULT_BUS_CAPACITY",
+    "ProgressTracker",
+    "StageProgress",
+    "NullProgressTracker",
+    "NULL_PROGRESS",
     "log",
     "get_logger",
     "configure_logging",
+    "set_run_id",
+    "current_run_id",
 ]
 
 
@@ -97,24 +129,39 @@ class _StageBridge:
 class Telemetry:
     """Tracer + metrics + logger, threaded through the whole pipeline."""
 
-    __slots__ = ("tracer", "metrics", "log", "enabled", "monitor")
+    __slots__ = ("tracer", "metrics", "log", "enabled", "monitor", "bus",
+                 "progress")
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 bus: Optional[EventBus] = None):
         self.enabled = bool(enabled)
         if self.enabled:
             self.tracer = tracer if tracer is not None else Tracer()
             self.metrics = metrics if metrics is not None else MetricsRegistry()
             self.metrics.declare_standard()
+            #: the live event bus, sharing the tracer's clock so event
+            #: timestamps and span timestamps sit on one axis (the epoch is
+            #: captured once — no per-publish attribute chain)
+            if bus is None:
+                epoch = self.tracer._epoch
+                bus = EventBus(
+                    clock=lambda: time.perf_counter() - epoch,
+                    epoch_wall=self.tracer.epoch_wall)
+            self.bus = bus
         else:
             self.tracer = NullTracer()
             self.metrics = NullMetrics()
+            self.bus = NULL_EVENT_BUS
         self.log = log
         #: the active run's ResourceMonitor; swapped in by MemQSim for the
         #: duration of a monitored run so the scheduler can take synchronous
         #: samples at interesting moments (device buffer live mid-group)
         self.monitor = NULL_RESOURCE_MONITOR
+        #: the active run's plan-aware ProgressTracker; swapped in by
+        #: MemQSim once the CompiledPlan exists (total work is then known)
+        self.progress = NULL_PROGRESS
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -129,6 +176,17 @@ class Telemetry:
 
     def instant(self, name: str, **args):
         return self.tracer.instant(name, **args)
+
+    # -- event-bus convenience -----------------------------------------------
+
+    def emit(self, kind: str, /, **data) -> None:
+        """Publish one event onto the live bus (no-op when disabled).
+
+        ``kind`` is positional-only so event payloads may themselves carry
+        a ``kind`` key (e.g. ``emit("stage.start", kind="gate")``).
+        """
+        if self.bus.enabled:
+            self.bus.publish(kind, **data)
 
     # -- the timeline/stage bridge -------------------------------------------
 
@@ -152,6 +210,9 @@ class Telemetry:
             name = getattr(stage, "value", str(stage))
             self.tracer.record(name, seconds, chunk=chunk, nbytes=nbytes,
                                **attrs)
+            if self.bus.enabled:
+                self.bus.publish(name, chunk=chunk, nbytes=nbytes,
+                                 seconds=seconds)
 
     # -- export ---------------------------------------------------------------
 

@@ -1,0 +1,246 @@
+"""Dependency-free ANSI terminal dashboard for live runs.
+
+Two entry points share one renderer:
+
+* ``run --live`` — :class:`LiveDashboard` runs in-process on a daemon
+  thread, reading :func:`~repro.telemetry.live.live_state` straight off the
+  run's Telemetry every ~250 ms;
+* ``python -m repro top --url http://host:port`` — :func:`top` polls the
+  ``/progress`` endpoint of a remote :class:`~repro.telemetry.live
+  .TelemetryServer` (same payload shape) and renders the same screen.
+
+The screen: a progress bar with exact percent + schedule-derived ETA,
+RSS / device-arena / cache-hit-rate sparklines from the resource-monitor
+series, derived codec gauges, and the live event tail. Pure ANSI — no
+curses, no external packages.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+__all__ = ["sparkline", "progress_bar", "render_dashboard",
+           "LiveDashboard", "top"]
+
+#: eight-level bar glyphs for sparklines (space = zero)
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 40) -> str:
+    """Compress a series into ``width`` Unicode bar characters."""
+    if not values:
+        return " " * width
+    if len(values) > width:  # bucket-average down to the display width
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))]) /
+            max(1, int((i + 1) * step) - int(i * step))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        mid = SPARK_CHARS[4 if hi > 0 else 0]
+        return (mid * len(values)).ljust(width)
+    out = "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((v - lo) / span * (len(SPARK_CHARS) - 1) + 0.5))]
+        for v in values)
+    return out.ljust(width)
+
+
+def progress_bar(fraction: float, width: int = 40) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(fraction * width)
+    return "█" * filled + "░" * (width - filled)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}TiB"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = max(0.0, seconds)
+    m, s = divmod(int(seconds + 0.5), 60)
+    h, m = divmod(m, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m:02d}:{s:02d}"
+
+
+def render_dashboard(state: Dict[str, Any], width: int = 78) -> str:
+    """One full dashboard frame (no ANSI control codes; pure content)."""
+    lines: List[str] = []
+    bar_w = max(10, width - 38)
+    prog = state.get("progress") or {}
+    frac = float(prog.get("fraction") or 0.0)
+    run_id = prog.get("run_id") or ""
+    eta = prog.get("eta_seconds")
+    elapsed = float(prog.get("elapsed_seconds") or 0.0)
+    lines.append(f"repro live{('  run ' + run_id) if run_id else ''}")
+    if prog.get("enabled") is False:
+        lines.append("  (no plan-aware progress: run not started)")
+    else:
+        lines.append(
+            f"  [{progress_bar(frac, bar_w)}] {frac * 100:6.2f}%  "
+            f"eta {_fmt_eta(eta)}  up {_fmt_eta(elapsed)}")
+        cur = prog.get("current_stage")
+        if cur:
+            lines.append(
+                f"  stage {cur['index']} ({cur['kind']}): "
+                f"{cur['groups_done']}/{cur['groups']} groups · "
+                f"{prog.get('stages_done', 0)}/{prog.get('stages_total', 0)}"
+                f" stages done · {prog.get('groups_done', 0)}"
+                f"/{prog.get('groups_total', 0)} groups total")
+
+    samples = (state.get("monitor") or {}).get("samples") or []
+    spark_w = max(10, width - 30)
+    if samples:
+        rss = [s.get("rss_bytes", 0.0) for s in samples]
+        arena = [s.get("arena_bytes", 0.0) for s in samples]
+        hits = [s.get("cache_hit_rate", 0.0) for s in samples]
+        lines.append(f"  rss   {sparkline(rss, spark_w)} {_fmt_bytes(rss[-1])}")
+        lines.append(
+            f"  arena {sparkline(arena, spark_w)} {_fmt_bytes(arena[-1])}")
+        lines.append(
+            f"  cache {sparkline(hits, spark_w)} {hits[-1] * 100:5.1f}%")
+    else:
+        rss_now = state.get("rss_bytes")
+        if rss_now:
+            lines.append(f"  rss   {_fmt_bytes(float(rss_now))} "
+                         "(enable --monitor for sparklines)")
+
+    derived = state.get("derived") or {}
+    parts = []
+    if derived.get("cache.hit_rate") is not None:
+        parts.append(f"hit-rate {derived['cache.hit_rate'] * 100:.1f}%")
+    if derived.get("codec.compression_ratio") is not None:
+        parts.append(f"ratio {derived['codec.compression_ratio']:.2f}x")
+    if derived.get("codec.decode_bytes_per_s") is not None:
+        parts.append(
+            f"decode {_fmt_bytes(derived['codec.decode_bytes_per_s'])}/s")
+    if parts:
+        lines.append("  " + " · ".join(parts))
+
+    ev = state.get("events") or {}
+    published, dropped = ev.get("published", 0), ev.get("dropped", 0)
+    tail = ev.get("tail") or []
+    if published:
+        drop_note = f" ({dropped} dropped)" if dropped else ""
+        lines.append(f"  events {published}{drop_note}:")
+        for item in tail[-6:]:
+            data = item.get("data") or {}
+            kv = " ".join(f"{k}={v}" for k, v in list(data.items())[:4])
+            line = f"    +{item.get('t', 0.0):8.3f}s {item.get('kind')} {kv}"
+            lines.append(line[:width])
+    return "\n".join(lines)
+
+
+class LiveDashboard:
+    """In-process dashboard thread for ``run --live``.
+
+    Redraws every ``interval`` seconds using ANSI cursor-up rewrites (no
+    full clears, so scrollback stays usable). Writes to ``stream``
+    (default stderr, keeping stdout clean for ``--json``).
+    """
+
+    def __init__(self, telemetry, interval: float = 0.25, stream=None,
+                 width: int = 78):
+        self.telemetry = telemetry
+        self.interval = max(0.05, float(interval))
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+        self._stop_evt = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_lines = 0
+
+    def start(self) -> "LiveDashboard":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-live-dashboard", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop_evt.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=2.0)
+        self._draw()  # one final frame showing 100%
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def __enter__(self) -> "LiveDashboard":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def _draw(self) -> None:
+        from .live import live_state
+
+        try:
+            frame = render_dashboard(live_state(self.telemetry), self.width)
+        except Exception:  # never let a render bug kill the run
+            return
+        out = ""
+        if self._last_lines:
+            out += f"\x1b[{self._last_lines}F\x1b[J"  # up N lines, clear down
+        out += frame + "\n"
+        self._last_lines = frame.count("\n") + 1
+        try:
+            self.stream.write(out)
+            self.stream.flush()
+        except (ValueError, OSError):
+            pass
+
+    def _loop(self) -> None:
+        while not self._stop_evt.wait(self.interval):
+            self._draw()
+
+
+def top(url: str, interval: float = 1.0, once: bool = False,
+        stream=None, width: int = 78) -> int:
+    """Remote dashboard: poll ``{url}/progress`` and render frames.
+
+    Returns a process exit code (0 = clean exit / run finished,
+    1 = endpoint unreachable on first poll).
+    """
+    stream = stream if stream is not None else sys.stdout
+    endpoint = url.rstrip("/") + "/progress"
+    last_lines = 0
+    first = True
+    while True:
+        try:
+            with urllib.request.urlopen(endpoint, timeout=5.0) as resp:
+                state = json.loads(resp.read().decode())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if first:
+                stream.write(f"repro top: cannot reach {endpoint}: {exc}\n")
+                return 1
+            stream.write("\nrepro top: endpoint gone (run finished?)\n")
+            return 0
+        first = False
+        frame = render_dashboard(state, width)
+        out = ""
+        if last_lines:
+            out += f"\x1b[{last_lines}F\x1b[J"
+        out += frame + "\n"
+        last_lines = frame.count("\n") + 1
+        stream.write(out)
+        stream.flush()
+        if once or (state.get("progress") or {}).get("finished"):
+            return 0
+        time.sleep(max(0.1, interval))

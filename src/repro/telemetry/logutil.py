@@ -1,19 +1,40 @@
-"""Package-wide logging: one ``repro`` logger hierarchy.
+"""Package-wide logging: one ``repro`` logger hierarchy with run context.
 
 Every module grabs its logger via ``get_logger(__name__)`` so the whole
 package shares the ``repro.*`` namespace and a single ``--log-level`` knob
 (CLI) or ``configure_logging()`` call (library use) controls verbosity.
 The root ``repro`` logger carries a ``NullHandler`` so the library stays
 silent unless the application opts in — the stdlib-recommended pattern.
+
+**Run/span context.** :class:`RunContextFilter` stamps every record with
+the active ``run_id`` (set by :class:`~repro.core.memqsim.MemQSim` per
+run) and the innermost open tracer span on the logging thread, so log
+lines correlate with trace spans and live bus events::
+
+    12:00:01 INFO    repro.pipeline [a1b2c3d4e5f6/group_pass]: ...
+
+``set_run_id``/``current_run_id`` manage the process-wide run id;
+``set_active_span`` is called by the tracer on span open/close (per
+thread). Both are cheap plain assignments — no locks on the hot path.
 """
 
 from __future__ import annotations
 
 import logging
 import sys
+import threading
 from typing import Optional, Union
 
-__all__ = ["log", "get_logger", "configure_logging"]
+__all__ = [
+    "log",
+    "get_logger",
+    "configure_logging",
+    "set_run_id",
+    "current_run_id",
+    "set_active_span",
+    "current_span",
+    "RunContextFilter",
+]
 
 ROOT_NAME = "repro"
 
@@ -21,8 +42,49 @@ ROOT_NAME = "repro"
 log = logging.getLogger(ROOT_NAME)
 log.addHandler(logging.NullHandler())
 
-_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s [%(run_ctx)s]: %(message)s"
 _configured_handler: Optional[logging.Handler] = None
+
+# -- run/span context ---------------------------------------------------------
+
+_run_id = ""                 # process-wide: one simulation run at a time
+_span_local = threading.local()  # per-thread: the innermost open span name
+
+
+def set_run_id(run_id: str) -> None:
+    """Set the active run id (empty string clears it)."""
+    global _run_id
+    _run_id = run_id or ""
+
+
+def current_run_id() -> str:
+    return _run_id
+
+
+def set_active_span(name: Optional[str]) -> None:
+    """Record the innermost open tracer span on this thread (or ``None``)."""
+    _span_local.name = name
+
+
+def current_span() -> Optional[str]:
+    return getattr(_span_local, "name", None)
+
+
+class RunContextFilter(logging.Filter):
+    """Stamps ``record.run_id``, ``record.span``, ``record.run_ctx``.
+
+    ``run_ctx`` is the compact ``run_id/span`` form the default format
+    prints (``-`` for whichever half is unset), so custom formats can use
+    either the combined field or the individual ones.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        run_id = _run_id
+        span = getattr(_span_local, "name", None)
+        record.run_id = run_id or "-"
+        record.span = span or "-"
+        record.run_ctx = f"{run_id or '-'}/{span or '-'}"
+        return True
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:
@@ -43,7 +105,8 @@ def configure_logging(level: Union[int, str] = "INFO",
     """Attach a stream handler to the ``repro`` root at ``level``.
 
     Idempotent: repeated calls reconfigure the one handler instead of
-    stacking duplicates. Returns the root logger.
+    stacking duplicates. The handler carries a :class:`RunContextFilter`
+    so every emitted line shows ``[run_id/span]``. Returns the root logger.
     """
     global _configured_handler
     if isinstance(level, str):
@@ -55,6 +118,7 @@ def configure_logging(level: Union[int, str] = "INFO",
         log.removeHandler(_configured_handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(RunContextFilter())
     log.addHandler(handler)
     log.setLevel(level)
     _configured_handler = handler

@@ -225,6 +225,18 @@ class MetricsRegistry:
         ):
             self.histogram(name)
 
+    # -- iteration (exposition layer) ----------------------------------------
+
+    def iter_counters(self) -> List[Counter]:
+        """All counters, name-sorted (the /metrics render order)."""
+        return [c for _, c in sorted(self._counters.items())]
+
+    def iter_gauges(self) -> List[Gauge]:
+        return [g for _, g in sorted(self._gauges.items())]
+
+    def iter_histograms(self) -> List[Histogram]:
+        return [h for _, h in sorted(self._histograms.items())]
+
     # -- export -------------------------------------------------------------------
 
     def derived_gauges(self) -> Dict[str, Optional[float]]:
@@ -370,6 +382,18 @@ class NullMetrics:
 
     def declare_standard(self) -> None:
         pass
+
+    def iter_counters(self) -> List[Counter]:
+        return []
+
+    def iter_gauges(self) -> List[Gauge]:
+        return []
+
+    def iter_histograms(self) -> List[Histogram]:
+        return []
+
+    def derived_gauges(self) -> Dict[str, Optional[float]]:
+        return {}
 
     def snapshot(self) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

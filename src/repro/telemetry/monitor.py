@@ -103,6 +103,7 @@ class ResourceMonitor:
         self._stop_evt = threading.Event()
         self._lock = threading.Lock()
         self._stopped = False
+        self._last_poke = -float("inf")
 
     @property
     def enabled(self) -> bool:
@@ -135,7 +136,10 @@ class ResourceMonitor:
             self._stop_evt.set()
             thread.join(timeout=5.0)
         if not already:
-            self.sample_once()  # the closing data point
+            try:
+                self.sample_once()  # the closing data point
+            except Exception:
+                pass  # a failed final read must not mask the run's outcome
         return self
 
     def __enter__(self) -> "ResourceMonitor":
@@ -146,6 +150,20 @@ class ResourceMonitor:
         return False
 
     # -- sampling ------------------------------------------------------------
+
+    def poke(self) -> None:
+        """A synchronous sample at an interesting moment, rate-limited.
+
+        Hot loops (the scheduler, while a device buffer is live) call this
+        instead of :meth:`sample_once` so the monitor's own period stays
+        the cost ceiling: a poke within ``interval_s`` of the previous one
+        is a two-load no-op, not a procfs read plus five trace events.
+        """
+        now = time.perf_counter()
+        if now - self._last_poke < self.interval_s:
+            return
+        self._last_poke = now
+        self.sample_once()
 
     def sample_once(self) -> Dict[str, float]:
         """Take one sample now (also what the daemon loop calls)."""
@@ -175,11 +193,20 @@ class ResourceMonitor:
             tr.counter("codec.bytes", t=t,
                        bytes_in=sample["codec_bytes_in"],
                        bytes_out=sample["codec_bytes_out"])
+        bus = getattr(tel, "bus", None)
+        if bus is not None and bus.enabled:
+            bus.publish("monitor.sample", t=t,
+                        **{k: v for k, v in sample.items() if k != "t"})
         return sample
 
     def _loop(self) -> None:
         while not self._stop_evt.wait(self.interval_s):
-            self.sample_once()
+            try:
+                self.sample_once()
+            except Exception:
+                # One bad read (e.g. procfs hiccup) must not kill the
+                # sampler thread mid-run; skip the sample and keep going.
+                continue
 
     # -- export --------------------------------------------------------------
 
@@ -234,6 +261,9 @@ class NullResourceMonitor:
         return False
 
     def sample_once(self) -> None:
+        return None
+
+    def poke(self) -> None:
         return None
 
     def timeline(self) -> None:

@@ -27,6 +27,8 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from .logutil import set_active_span
+
 __all__ = ["Span", "Tracer", "NullTracer"]
 
 
@@ -192,6 +194,7 @@ class Tracer:
         sp.depth = len(stack)
         sp.parent = stack[-1].name if stack else None
         stack.append(sp)
+        set_active_span(sp.name)  # log records now carry this span
         sp.start = time.perf_counter() - self._epoch
 
     def _close(self, sp: Span) -> None:
@@ -201,6 +204,7 @@ class Tracer:
             stack.pop()
         elif sp in stack:  # out-of-order exit; still unwind correctly
             stack.remove(sp)
+        set_active_span(stack[-1].name if stack else None)
         with self._lock:
             self.spans.append(sp)
 

@@ -1,0 +1,112 @@
+"""``python -m repro.bench check --json``: the machine-readable report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import make_result, metric, result_path, write_result
+from repro.bench.__main__ import main
+from repro.bench.schema import SCHEMA_VERSION
+
+
+def record(experiment="E1", wall=1.0):
+    return make_result(experiment, metrics={
+        "wall_seconds": metric(wall, unit="s")})
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    return str(results), str(baselines)
+
+
+def _write(doc, directory):
+    write_result(doc, result_path(directory, doc["experiment"]))
+
+
+def _run_check(results, baselines, *extra):
+    return main(["check", "--results", results, "--baselines", baselines,
+                 *extra])
+
+
+def test_json_stdout_replaces_the_table(dirs, capsys):
+    results, baselines = dirs
+    _write(record(wall=1.0), baselines)
+    _write(record(wall=1.02), results)
+    code = _run_check(results, baselines, "--json", "-")
+    out = capsys.readouterr().out
+    doc = json.loads(out)  # pure JSON on stdout: no table mixed in
+    assert code == 0
+    assert doc["schema"] == f"{SCHEMA_VERSION}/check"
+    assert doc["exit_code"] == 0
+    assert doc["counts"] == {
+        "checked": 1, "ok": 1, "regressions": 0,
+        "advisory_regressions": 0, "no_baseline": 0, "schema_errors": 0}
+    (exp,) = doc["experiments"]
+    assert exp["experiment"] == "E1" and exp["status"] == "ok"
+    assert exp["gating"] is False
+    (m,) = exp["metrics"]
+    assert m["name"] == "wall_seconds"
+    assert m["status"] == "ok"
+    assert m["baseline"] == 1.0 and m["current"] == 1.02
+    assert m["rel_change"] == pytest.approx(0.02)
+
+
+def test_json_reports_gating_regression(dirs, capsys):
+    results, baselines = dirs
+    _write(record(wall=1.0), baselines)
+    _write(record(wall=3.0), results)
+    code = _run_check(results, baselines, "--json", "-")
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1 and doc["exit_code"] == 1
+    assert doc["counts"]["regressions"] == 1
+    (exp,) = doc["experiments"]
+    assert exp["status"] == "regression" and exp["gating"] is True
+    assert exp["metrics"][0]["status"] == "regression"
+
+
+def test_warn_only_demotes_exit_code_but_keeps_verdicts(dirs, capsys):
+    results, baselines = dirs
+    _write(record(wall=1.0), baselines)
+    _write(record(wall=3.0), results)
+    code = _run_check(results, baselines, "--warn-only", "--json", "-")
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0 and doc["exit_code"] == 0
+    assert doc["warn_only"] is True
+    assert doc["counts"]["regressions"] == 1  # the verdict itself survives
+
+
+def test_json_to_file_keeps_the_table_output(dirs, tmp_path, capsys):
+    results, baselines = dirs
+    _write(record(wall=1.0), baselines)
+    _write(record(wall=1.0), results)
+    out_file = tmp_path / "check.json"
+    code = _run_check(results, baselines, "--json", str(out_file))
+    printed = capsys.readouterr().out
+    assert code == 0
+    assert "benchmark comparison" in printed  # table still renders
+    doc = json.loads(out_file.read_text())
+    assert doc["counts"]["checked"] == 1
+
+
+def test_no_baseline_is_counted(dirs, capsys):
+    results, baselines = dirs
+    _write(record(wall=1.0), results)  # nothing committed
+    code = _run_check(results, baselines, "--json", "-")
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["counts"]["no_baseline"] == 1
+    assert doc["experiments"][0]["status"] == "no-baseline"
+
+
+def test_empty_results_dir_yields_payload_and_exit_one(dirs, capsys):
+    results, baselines = dirs
+    code = _run_check(results, baselines, "--json", "-")
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["exit_code"] == 1 and doc["counts"]["checked"] == 0

@@ -1,0 +1,117 @@
+"""Terminal dashboard: sparklines, frame rendering, local + remote loops."""
+
+from __future__ import annotations
+
+import io
+
+from repro.circuits import qft
+from repro.core import MemQSim
+from repro.telemetry import Telemetry
+from repro.telemetry.dashboard import (
+    LiveDashboard,
+    progress_bar,
+    render_dashboard,
+    sparkline,
+    top,
+)
+from repro.telemetry.live import TelemetryServer, live_state
+
+
+def test_sparkline_basic_shapes():
+    assert sparkline([], width=8) == " " * 8
+    assert len(sparkline([1.0, 2.0, 3.0], width=8)) == 8
+    # monotone series renders monotone glyphs
+    s = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+    assert list(s) == sorted(s, key=" ▁▂▃▄▅▆▇█".index)
+    # constant nonzero series: mid-level bars; all-zero: blank
+    assert set(sparkline([5.0, 5.0], width=2)) == {"▄"}
+    assert sparkline([0.0, 0.0], width=2) == "  "
+
+
+def test_sparkline_bucket_averages_long_series():
+    series = [float(i) for i in range(1000)]
+    s = sparkline(series, width=10)
+    assert len(s) == 10
+    assert s[0] == " " and s[-1] == "█"  # rises across the window
+
+
+def test_progress_bar():
+    assert progress_bar(0.0, width=4) == "░░░░"
+    assert progress_bar(0.5, width=4) == "██░░"
+    assert progress_bar(1.0, width=4) == "████"
+    assert progress_bar(7.5, width=4) == "████"  # clamped
+
+
+def test_render_dashboard_synthetic_state():
+    state = {
+        "progress": {
+            "run_id": "cafe01", "fraction": 0.25, "eta_seconds": 90.0,
+            "elapsed_seconds": 30.0, "stages_done": 1, "stages_total": 4,
+            "groups_done": 2, "groups_total": 8,
+            "current_stage": {"index": 1, "kind": "gate",
+                              "groups": 4, "groups_done": 2},
+            "finished": False,
+        },
+        "monitor": {"running": True, "samples": [
+            {"rss_bytes": 1e6, "arena_bytes": 0.0, "cache_hit_rate": 0.0},
+            {"rss_bytes": 2e6, "arena_bytes": 4096.0, "cache_hit_rate": 0.5},
+        ]},
+        "derived": {"cache.hit_rate": 0.5, "codec.compression_ratio": 3.0},
+        "events": {"published": 12, "dropped": 2, "tail": [
+            {"t": 0.001, "kind": "h2d", "data": {"chunk": 0}},
+        ]},
+    }
+    frame = render_dashboard(state, width=78)
+    assert "cafe01" in frame
+    assert " 25.00%" in frame
+    assert "eta 01:30" in frame
+    assert "stage 1 (gate): 2/4 groups" in frame
+    assert "rss" in frame and "arena" in frame and "cache" in frame
+    assert "ratio 3.00x" in frame
+    assert "events 12 (2 dropped)" in frame
+    assert "h2d" in frame
+    assert all(len(line) <= 78 for line in frame.splitlines())
+
+
+def test_render_dashboard_handles_empty_state():
+    frame = render_dashboard({}, width=60)
+    assert frame.startswith("repro live")
+    frame = render_dashboard({"progress": {"enabled": False}}, width=60)
+    assert "no plan-aware progress" in frame
+
+
+def test_live_dashboard_thread_draws_frames(tight_config):
+    tel = Telemetry()
+    out = io.StringIO()
+    with LiveDashboard(tel, interval=0.05, stream=out, width=70):
+        MemQSim(tight_config, telemetry=tel).run(qft(8))
+    text = out.getvalue()
+    assert "repro live" in text
+    # the final frame (drawn by stop()) shows the finished run
+    assert "100.00%" in text
+
+
+def test_render_dashboard_matches_live_state_shape(tight_config):
+    tel = Telemetry()
+    MemQSim(tight_config, telemetry=tel).run(qft(8))
+    frame = render_dashboard(live_state(tel), width=78)
+    assert "100.00%" in frame
+    assert "events" in frame
+
+
+def test_top_once_against_server(tight_config):
+    tel = Telemetry()
+    srv = TelemetryServer(tel, port=0).start()
+    try:
+        MemQSim(tight_config, telemetry=tel).run(qft(8))
+        out = io.StringIO()
+        assert top(srv.url, once=True, stream=out) == 0
+        assert "100.00%" in out.getvalue()
+    finally:
+        srv.stop()
+
+
+def test_top_unreachable_endpoint_exits_nonzero():
+    out = io.StringIO()
+    assert top("http://127.0.0.1:1", once=True, stream=out) == 1
+    assert "cannot reach" in out.getvalue()

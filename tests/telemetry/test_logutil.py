@@ -1,0 +1,109 @@
+"""Run/span log context: RunContextFilter, tracer integration, run_id."""
+
+from __future__ import annotations
+
+import io
+import logging
+import threading
+
+from repro.circuits import qft
+from repro.core import MemQSim
+from repro.telemetry import Telemetry, current_run_id, set_run_id
+from repro.telemetry.logutil import (
+    RunContextFilter,
+    configure_logging,
+    current_span,
+    get_logger,
+    set_active_span,
+)
+
+
+def _record(msg="hello"):
+    return logging.LogRecord("repro.test", logging.INFO, __file__, 1,
+                             msg, None, None)
+
+
+def teardown_function(_fn):
+    set_run_id("")
+    set_active_span(None)
+
+
+def test_filter_stamps_defaults_when_no_context():
+    rec = _record()
+    assert RunContextFilter().filter(rec) is True
+    assert rec.run_id == "-" and rec.span == "-"
+    assert rec.run_ctx == "-/-"
+
+
+def test_filter_stamps_run_id_and_span():
+    set_run_id("abc123")
+    set_active_span("group_pass")
+    rec = _record()
+    RunContextFilter().filter(rec)
+    assert rec.run_id == "abc123"
+    assert rec.span == "group_pass"
+    assert rec.run_ctx == "abc123/group_pass"
+    set_run_id("")
+    rec = _record()
+    RunContextFilter().filter(rec)
+    assert rec.run_ctx == "-/group_pass"
+
+
+def test_set_run_id_round_trip():
+    assert current_run_id() == ""
+    set_run_id("deadbeef")
+    assert current_run_id() == "deadbeef"
+    set_run_id("")
+    assert current_run_id() == ""
+
+
+def test_active_span_is_per_thread():
+    set_active_span("main-span")
+    seen = {}
+
+    def other():
+        seen["before"] = current_span()
+        set_active_span("worker-span")
+        seen["after"] = current_span()
+
+    th = threading.Thread(target=other)
+    th.start()
+    th.join()
+    assert seen["before"] is None  # thread-local: no leakage across threads
+    assert seen["after"] == "worker-span"
+    assert current_span() == "main-span"
+
+
+def test_tracer_publishes_innermost_span():
+    tel = Telemetry()
+    assert current_span() is None
+    with tel.span("outer"):
+        assert current_span() == "outer"
+        with tel.span("inner"):
+            assert current_span() == "inner"
+        assert current_span() == "outer"  # unwinds to the parent
+    assert current_span() is None
+
+
+def test_configured_handler_formats_run_context():
+    buf = io.StringIO()
+    logger = configure_logging("INFO", stream=buf)
+    try:
+        set_run_id("f00dcafe")
+        with Telemetry().span("stage"):
+            get_logger("repro.test").info("inside")
+        out = buf.getvalue()
+        assert "[f00dcafe/stage]" in out
+        assert "inside" in out
+    finally:
+        # detach the buffer handler so later tests write to a live stream
+        configure_logging("WARNING")
+        logger.setLevel(logging.WARNING)
+
+
+def test_run_sets_and_clears_run_id(tight_config):
+    tel = Telemetry()
+    res = MemQSim(tight_config, telemetry=tel).run(qft(8))
+    assert res.run_id
+    # the id is cleared once the run finishes
+    assert current_run_id() == ""

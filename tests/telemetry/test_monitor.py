@@ -121,11 +121,76 @@ def test_disabled_path_is_null(tight_config):
     assert res.resource_timeline is None
 
 
+def test_poke_is_rate_limited_to_the_interval():
+    mon = ResourceMonitor(Telemetry(), interval_ms=10_000.0)
+    mon.poke()
+    assert len(mon.samples) == 1
+    for _ in range(50):
+        mon.poke()  # all inside the interval: free no-ops
+    assert len(mon.samples) == 1
+    mon._last_poke = -float("inf")  # simulate the interval elapsing
+    mon.poke()
+    assert len(mon.samples) == 2
+
+
+def test_stop_takes_final_sample_when_run_raises(tight_config, monkeypatch):
+    """The memqsim finally-path must close the series on exceptions too."""
+    from repro.pipeline.scheduler import StageScheduler
+
+    captured = {}
+
+    def boom(self, stage):
+        captured["monitor"] = self.telemetry.monitor
+        raise RuntimeError("injected mid-run failure")
+
+    monkeypatch.setattr(StageScheduler, "run_stage", boom)
+    tel = Telemetry()
+    cfg = tight_config.with_updates(monitor_interval_ms=1000.0)
+    with pytest.raises(RuntimeError, match="injected"):
+        MemQSim(cfg, telemetry=tel).run(qft(8))
+    mon = captured["monitor"]
+    assert mon is not NULL_RESOURCE_MONITOR
+    assert not mon.running
+    assert len(mon.samples) >= 1  # the closing data point landed
+    # and the telemetry no longer points at the dead monitor
+    assert tel.monitor is NULL_RESOURCE_MONITOR
+
+
+def test_sampler_thread_survives_bad_reads(monkeypatch):
+    calls = {"n": 0}
+    mon = ResourceMonitor(Telemetry(), interval_ms=1.0)
+    orig = ResourceMonitor.sample_once
+
+    def flaky(self):
+        calls["n"] += 1
+        if calls["n"] % 2:
+            raise OSError("procfs hiccup")
+        return orig(self)
+
+    monkeypatch.setattr(ResourceMonitor, "sample_once", flaky)
+    mon.start()
+    time.sleep(0.05)
+    mon.stop()
+    assert calls["n"] >= 4  # kept sampling straight through the failures
+    assert len(mon.samples) >= 1
+
+
+def test_samples_publish_onto_the_bus():
+    tel = Telemetry()
+    mon = ResourceMonitor(tel, interval_ms=1000.0)
+    mon.sample_once()
+    events = [e for e in tel.bus.snapshot() if e.kind == "monitor.sample"]
+    assert len(events) == 1
+    assert events[0].data["rss_bytes"] > 0
+    assert "t" not in events[0].data  # the timestamp rides on the event
+
+
 def test_null_monitor_is_free():
     mon = NullResourceMonitor()
     assert mon.start() is mon
     assert mon.stop() is mon
     assert mon.sample_once() is None
+    assert mon.poke() is None
     assert mon.timeline() is None
     assert not mon.enabled and not mon.running
     with NULL_RESOURCE_MONITOR as m:
