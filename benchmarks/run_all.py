@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "FU1": ("bench_fusion", "fast"),
     "CD1": ("bench_codec", "fast"),
     "LV1": ("bench_live_overhead", "fast"),
+    "SV1": ("bench_serve", "fast"),
 }
 
 
@@ -46,6 +47,8 @@ def run_experiment(exp_id: str, module_name: str):
 
     buf = io.StringIO()
     t0 = time.perf_counter()
+    saved_argv = sys.argv
+    sys.argv = [module_name]  # modules parse argv; don't leak run_all's flags
     try:
         with redirect_stdout(buf):
             runpy.run_module(module_name, run_name="__main__")
@@ -54,6 +57,8 @@ def run_experiment(exp_id: str, module_name: str):
     except Exception as exc:  # keep going; report at the end
         ok = False
         status = f"FAILED: {type(exc).__name__}: {exc}"
+    finally:
+        sys.argv = saved_argv
     wall = time.perf_counter() - t0
     section = f"[{exp_id}] {status} in {wall:.1f}s\n" + buf.getvalue()
     return section, wall, ok

@@ -222,6 +222,47 @@ class Circuit:
                 out.append(g)
         return out
 
+    # -- identity -------------------------------------------------------------
+
+    def structural_hash(self) -> str:
+        """Content hash of the circuit's structure (hex sha256).
+
+        Covers the qubit count and, per gate in order: name, qubits,
+        parameters, and — for gates carrying an explicit matrix or stored
+        diagonal ("unitary"/"diagonal" gates, whose name+params do not
+        determine the operator) — the exact operator bytes. Two circuits
+        hash equal iff they apply the same operators to the same qubits in
+        the same order; the hash is stable across processes and platforms
+        (no Python ``hash()``, fixed-width little-endian encoding), which
+        makes it usable as a compiled-plan cache key.
+
+        The circuit ``name`` is deliberately excluded: it is provenance,
+        not structure.
+        """
+        import hashlib
+        import struct
+
+        h = hashlib.sha256()
+        h.update(b"repro.circuit/v1")
+        h.update(struct.pack("<q", self.num_qubits))
+        for g in self._gates:
+            h.update(g.name.encode())
+            h.update(struct.pack(f"<q{len(g.qubits)}q",
+                                 len(g.qubits), *g.qubits))
+            h.update(struct.pack(f"<q{len(g.params)}d",
+                                 len(g.params), *g.params))
+            # Only unitary/diagonal payload gates need operator bytes —
+            # every named gate's matrix is a pure function of name+params.
+            if g.diag is not None:
+                h.update(b"diag")
+                h.update(np.ascontiguousarray(
+                    g.diag, dtype=np.complex128).tobytes())
+            elif g._matrix is not None:
+                h.update(b"mat")
+                h.update(np.ascontiguousarray(
+                    g._matrix, dtype=np.complex128).tobytes())
+        return h.hexdigest()
+
     # -- statistics -----------------------------------------------------------
 
     def gate_counts(self) -> Counter:

@@ -16,6 +16,11 @@ Commands:
   curve, compression table — no external assets, opens from ``file://``).
 * ``top`` — live terminal dashboard for a running simulation: polls the
   ``/progress`` endpoint of a run started with ``--serve-metrics``.
+* ``serve`` — persistent multi-tenant job daemon: accepts circuit
+  submissions over HTTP/JSON, shares one device arena (admission control)
+  and one compiled-plan cache across concurrent jobs.
+* ``submit`` / ``jobs`` / ``result`` / ``cancel`` — client commands
+  against a running daemon.
 
 Examples::
 
@@ -29,6 +34,9 @@ Examples::
     python -m repro report qft -n 12 -o qft.report.html
     python -m repro run qft -n 15 --monitor --serve-metrics 9644 --live
     python -m repro top --port 9644
+    python -m repro serve --port 9645 --device-mb 64 --max-jobs 4
+    python -m repro submit qft -n 12 --port 9645 --tenant alice --wait
+    python -m repro jobs --port 9645
 """
 
 from __future__ import annotations
@@ -87,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--checkpoint", help="resume from this checkpoint")
     runp.add_argument("--compare-dense", action="store_true",
                       help="also run the dense baseline and report fidelity")
+    runp.add_argument("--state-digest", action="store_true",
+                      help="print a sha256 over the final state's chunk "
+                           "stream (bit-identity fingerprint; also lands "
+                           "in --json output)")
     _add_telemetry_args(runp)
     runp.add_argument("--json", nargs="?", const="-", default=None,
                       metavar="FILE",
@@ -159,7 +171,89 @@ def build_parser() -> argparse.ArgumentParser:
                       help="poll period in seconds (default 1)")
     topp.add_argument("--once", action="store_true",
                       help="render one frame and exit (scripting/tests)")
+
+    servep = sub.add_parser(
+        "serve",
+        help="run the persistent multi-tenant job daemon (HTTP/JSON API)")
+    servep.add_argument("--port", type=int, default=None,
+                        help="listen port (default 9645; 0 = ephemeral, "
+                             "printed at startup)")
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument("--device-mb", type=float, default=256.0,
+                        help="shared device arena capacity (MiB)")
+    servep.add_argument("--compressor", default="szlike",
+                        help="base codec for submissions (overridable "
+                             "per job)")
+    servep.add_argument("--error-bound", type=float, default=1e-6)
+    servep.add_argument("--chunk-qubits", type=int, default=0,
+                        help="base chunk size (0 = auto; overridable "
+                             "per job)")
+    servep.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="daemon codec workers; >1 builds one shared "
+                             "worker pool reused by matching jobs")
+    servep.add_argument("--execution", default="auto",
+                        choices=["serial", "parallel", "auto"])
+    servep.add_argument("--max-jobs", type=int, default=4,
+                        help="cap on simultaneously running jobs")
+    servep.add_argument("--plan-cache", type=int, default=64, metavar="N",
+                        help="compiled plans kept resident")
+    servep.add_argument("--events-dir", metavar="DIR",
+                        help="flush each finished job's event tail to "
+                             "DIR/<job_id>.events.jsonl")
+    servep.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error",
+                                 "critical"],
+                        type=str.lower, metavar="LEVEL")
+
+    subp = sub.add_parser("submit", help="submit a job to a daemon")
+    subp.add_argument("workload", nargs="?",
+                      help=f"one of {sorted(WORKLOADS)}")
+    subp.add_argument("--qasm", help="OpenQASM 2.0 file to submit instead")
+    subp.add_argument("-n", "--qubits", type=int, default=12)
+    subp.add_argument("--tenant", default="default",
+                      help="fairness domain for arbitration")
+    subp.add_argument("--shots", type=int, default=0)
+    subp.add_argument("--seed", type=int, default=None)
+    subp.add_argument("--compressor", default=None)
+    subp.add_argument("--error-bound", type=float, default=None)
+    subp.add_argument("--chunk-qubits", type=int, default=None)
+    subp.add_argument("--execution", default=None,
+                      choices=["serial", "parallel", "auto"])
+    subp.add_argument("--workers", type=int, default=None)
+    subp.add_argument("--fusion", action="store_true", default=False)
+    subp.add_argument("--wait", action="store_true",
+                      help="block until the job finishes and print the "
+                           "result document")
+    subp.add_argument("--timeout", type=float, default=300.0,
+                      help="--wait deadline in seconds")
+    _add_serve_url_args(subp)
+
+    jobsp = sub.add_parser("jobs", help="list a daemon's jobs")
+    _add_serve_url_args(jobsp)
+
+    resp = sub.add_parser("result", help="fetch a finished job's result")
+    resp.add_argument("job_id")
+    _add_serve_url_args(resp)
+
+    canp = sub.add_parser("cancel", help="cancel a queued or running job")
+    canp.add_argument("job_id")
+    _add_serve_url_args(canp)
     return p
+
+
+def _add_serve_url_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="daemon base URL (default http://127.0.0.1:9645)")
+    p.add_argument("--port", type=int, default=None,
+                   help="shorthand for --url http://127.0.0.1:PORT")
+
+
+def _serve_url(args) -> str:
+    from .serve import DEFAULT_PORT
+
+    if args.url and args.port is not None:
+        raise SystemExit("pass --url or --port, not both")
+    return args.url or f"http://127.0.0.1:{args.port or DEFAULT_PORT}"
 
 
 def _add_fusion_args(p: argparse.ArgumentParser) -> None:
@@ -332,6 +426,7 @@ def _cmd_run(args) -> int:
         payload = res.to_dict() if args.json else None
 
         counts = fidelity = None
+        digest = res.state_digest() if args.state_digest else None
         if args.shots:
             counts = res.sample(args.shots, seed=args.seed)
         if args.compare_dense and circuit.num_qubits <= 20:
@@ -344,9 +439,13 @@ def _cmd_run(args) -> int:
                 payload["counts"] = counts
             if fidelity is not None:
                 payload["fidelity_vs_dense"] = fidelity
+            if digest is not None:
+                payload["state_digest"] = digest
 
         if not json_stdout:
             print(res.report())
+            if digest is not None:
+                print(f"\nstate digest: {digest}")
             if counts is not None:
                 top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
                 print("\ntop outcomes:")
@@ -522,6 +621,133 @@ def _cmd_top(args) -> int:
         return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the job daemon until SIGTERM/SIGINT, then drain gracefully."""
+    import signal
+    import threading
+
+    from .serve import DEFAULT_PORT, ServeManager, ServeServer
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    opts = {}
+    if args.compressor in ("szlike", "adaptive"):
+        opts["error_bound"] = args.error_bound
+    base = MemQSimConfig(
+        chunk_qubits=args.chunk_qubits,
+        compressor=args.compressor,
+        compressor_options=opts,
+        device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        workers=args.workers,
+        execution=args.execution,
+    )
+    manager = ServeManager(base, Telemetry(), max_jobs=args.max_jobs,
+                           plan_cache_capacity=args.plan_cache,
+                           events_dir=args.events_dir)
+    port = DEFAULT_PORT if args.port is None else args.port
+    server = ServeServer(manager, port=port, host=args.host).start()
+    print(f"serve: listening on {server.url} "
+          f"(device {args.device_mb:g}MiB, max {args.max_jobs} jobs)",
+          flush=True)
+
+    stop = threading.Event()
+
+    def _signal(signum, _frame):
+        print(f"serve: caught signal {signum}, draining "
+              "(running jobs stop at the next group-pass boundary)",
+              flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signal)
+    signal.signal(signal.SIGINT, _signal)
+    try:
+        stop.wait()
+    finally:
+        manager.shutdown()
+        server.stop()
+        stats = manager.stats()["jobs"]
+        served = stats.get("done", 0)
+        print(f"serve: shutdown complete ({served} jobs completed, "
+              f"{stats.get('cancelled', 0)} cancelled)", flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .serve import ServeClient
+
+    payload = {"tenant": args.tenant, "shots": args.shots}
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if args.qasm:
+        with open(args.qasm) as fh:
+            payload["qasm"] = fh.read()
+    elif args.workload:
+        payload["workload"] = args.workload
+        payload["qubits"] = args.qubits
+    else:
+        raise SystemExit("submit: provide a workload name or --qasm FILE")
+    config = {}
+    for key in ("compressor", "error_bound", "chunk_qubits", "execution",
+                "workers"):
+        value = getattr(args, key)
+        if value is not None:
+            config[key] = value
+    if args.fusion:
+        config["fusion"] = True
+    if config:
+        payload["config"] = config
+    client = ServeClient(_serve_url(args))
+    job = client.submit(payload)
+    if not args.wait:
+        print(json.dumps({"job": job}, indent=2))
+        return 0
+    snap = client.wait(job["id"], timeout=args.timeout)
+    if snap["state"] == "done":
+        print(json.dumps(client.result(job["id"]), indent=2))
+        return 0
+    print(json.dumps({"job": snap}, indent=2))
+    return 1
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import ServeClient
+
+    jobs = ServeClient(_serve_url(args)).jobs()
+    t = Table(["id", "tenant", "state", "circuit", "n", "progress"],
+              title="daemon jobs")
+    for j in jobs:
+        frac = j.get("progress", {}).get("fraction")
+        t.add(j["id"], j["tenant"], j["state"],
+              j["circuit"]["name"] or "qasm", j["circuit"]["num_qubits"],
+              f"{frac * 100:.1f}%" if isinstance(frac, float) else "-")
+    print(t.render())
+    return 0
+
+
+def _cmd_result(args) -> int:
+    from .serve import ServeAPIError, ServeClient
+
+    try:
+        print(json.dumps(ServeClient(_serve_url(args)).result(args.job_id),
+                         indent=2))
+        return 0
+    except ServeAPIError as exc:
+        print(f"result: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cancel(args) -> int:
+    from .serve import ServeAPIError, ServeClient
+
+    try:
+        job = ServeClient(_serve_url(args)).cancel(args.job_id)
+        print(json.dumps({"job": job}, indent=2))
+        return 0
+    except ServeAPIError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -532,6 +758,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "top": _cmd_top,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "result": _cmd_result,
+        "cancel": _cmd_cancel,
     }
     try:
         return handlers[args.command](args)

@@ -138,6 +138,38 @@ class MemQSimConfig:
         """Functional update helper (configs are frozen)."""
         return replace(self, **kwargs)
 
+    #: the knobs whose values change what :func:`repro.pipeline.plan_stages`
+    #: and :func:`repro.compile.compile_stages` produce. Everything else
+    #: (codec, transfer strategy, workers, caching, monitoring) affects how
+    #: a plan is *executed*, never the plan itself.
+    PLAN_KNOBS = (
+        "chunk_qubits",
+        "min_chunks",
+        "max_chunk_qubits",
+        "enable_permutation_stages",
+        "fuse_gates",
+        "max_fuse_qubits",
+    )
+
+    def plan_key(self) -> str:
+        """Hash (hex sha256) of only the knobs that affect lowering.
+
+        Combined with :meth:`~repro.circuits.circuit.Circuit
+        .structural_hash`, this keys a compiled-plan cache: two configs
+        with equal ``plan_key()`` resolve the same layout, stage split,
+        and fused op stream for any given circuit. Device memory and the
+        buffer count participate because they bound the chunk size and
+        the group width (``max_group_qubits_for``); execution-only knobs
+        (codec, transfer, workers, cache, monitor) deliberately do not.
+        """
+        import hashlib
+
+        fields = [f"{k}={getattr(self, k)!r}" for k in self.PLAN_KNOBS]
+        fields.append(f"device_bytes={self.device.memory_bytes}")
+        fields.append(f"double_buffer={self.num_buffers > 1}")
+        payload = "repro.plan/v1|" + "|".join(fields)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
     def summary(self) -> str:
         co = ", ".join(f"{k}={v}" for k, v in sorted(self.compressor_options.items()))
         return (

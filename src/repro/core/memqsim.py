@@ -66,7 +66,9 @@ class MemQSim:
     """Memory-efficient modular state-vector simulator (the paper's system)."""
 
     def __init__(self, config: Optional[MemQSimConfig] = None,
-                 telemetry: Optional[Telemetry] = None, **overrides):
+                 telemetry: Optional[Telemetry] = None, *,
+                 plan_cache=None, codec_pool=None, arena=None, cancel=None,
+                 **overrides):
         """Create a simulator.
 
         Args:
@@ -74,12 +76,34 @@ class MemQSim:
             telemetry: a :class:`~repro.telemetry.Telemetry` object to
                 thread through every layer of the run (tracer spans per
                 pipeline hop, metrics, memory gauges); default disabled.
+            plan_cache: optional compiled-plan cache (duck-typed:
+                ``lookup(key) -> entry | None`` and ``store(key, entry)``,
+                see :class:`repro.serve.PlanCache`). When a submission's
+                (circuit structural hash, plan-affecting config knobs,
+                resolved chunk size) key hits, planning *and* compilation
+                are skipped entirely and the cached lowered plan runs.
+            codec_pool: optional externally-owned
+                :class:`~repro.parallel.CodecWorkerPool` shared across
+                runs (the service plane's amortized worker pool). Must be
+                built for a codec byte-identical to this config's; the
+                run uses it for parallel execution and never closes it.
+            arena: optional externally-owned (possibly shared,
+                multi-tenant) :class:`~repro.device.DeviceArena`; all
+                device executors then allocate from it instead of
+                creating private arenas.
+            cancel: optional :class:`~repro.pipeline.CancelToken`; the
+                schedulers poll it at group-pass boundaries and raise
+                :class:`~repro.pipeline.JobCancelled`.
             **overrides: convenience field overrides applied on top, e.g.
                 ``MemQSim(compressor="zlib", chunk_qubits=8)``.
         """
         base = config if config is not None else MemQSimConfig()
         self.config = base.with_updates(**overrides) if overrides else base
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.plan_cache = plan_cache
+        self.codec_pool = codec_pool
+        self.arena = arena
+        self.cancel = cancel
 
     # -- public API ---------------------------------------------------------
 
@@ -187,23 +211,39 @@ class MemQSim:
                 store.init_zero_state()
 
         t_max = max_group_qubits_for(layout, cfg.device, double_buffer=cfg.num_buffers > 1)
-        stages = plan_stages(
-            circuit, layout, t_max,
-            enable_permutation_stages=cfg.enable_permutation_stages,
-        )
-        plan = describe_plan(stages, layout)
-        # Compile (lower + fuse) once; every amplitude-touching path — the
-        # device executors, the CPU-offload path, the parallel engine's
-        # workers — consumes this one lowered plan.
-        cplan = compile_stages(
-            stages, layout,
-            CompileOptions(fusion=cfg.fuse_gates,
-                           max_fuse_qubits=cfg.max_fuse_qubits),
-            telemetry=tel,
-        )
-        log.debug("compile: %d gates -> %d ops (ratio %.2f, fusion=%s)",
-                  cplan.report.gates_in, cplan.report.ops_out,
-                  cplan.report.fusion_ratio, cfg.fuse_gates)
+        # Plan cache: keyed on circuit structure + plan-affecting knobs +
+        # the *resolved* chunk size (checkpoint / initial-store layouts
+        # override the configured one, so `c` must be part of the key).
+        plan = cplan = None
+        cache_key = None
+        if self.plan_cache is not None:
+            cache_key = (circuit.structural_hash(), cfg.plan_key(), c)
+            cached = self.plan_cache.lookup(cache_key)
+            if cached is not None:
+                plan, cplan = cached
+                log.debug("plan cache hit (%s…)", cache_key[0][:12])
+        if cplan is None:
+            stages = plan_stages(
+                circuit, layout, t_max,
+                enable_permutation_stages=cfg.enable_permutation_stages,
+            )
+            plan = describe_plan(stages, layout)
+            # Compile (lower + fuse) once; every amplitude-touching path —
+            # the device executors, the CPU-offload path, the parallel
+            # engine's workers — consumes this one lowered plan.
+            cplan = compile_stages(
+                stages, layout,
+                CompileOptions(fusion=cfg.fuse_gates,
+                               max_fuse_qubits=cfg.max_fuse_qubits),
+                telemetry=tel,
+            )
+            log.debug("compile: %d gates -> %d ops (ratio %.2f, fusion=%s)",
+                      cplan.report.gates_in, cplan.report.ops_out,
+                      cplan.report.fusion_ratio, cfg.fuse_gates)
+            if cache_key is not None:
+                # Compiled stages are immutable once built; sharing the
+                # same lowered plan across runs (and tenants) is safe.
+                self.plan_cache.store(cache_key, (plan, cplan))
         if tel.enabled:
             # The offline stage ends here: store initialized, plan fixed.
             tel.tracer.record("offline", time.perf_counter() - t_wall,
@@ -246,6 +286,7 @@ class MemQSim:
             executors.append(DeviceExecutor(
                 cfg.device, transfer=dev_transfer, timeline=timeline,
                 tracker=tracker, backend=backend, telemetry=tel,
+                arena=self.arena,
             ))
         store_like = store
         if cfg.cache_chunks:
@@ -264,6 +305,11 @@ class MemQSim:
             else cfg.resolve_workers(layout.chunk_size)
         use_parallel = cfg.execution == "parallel" or (
             cfg.execution == "auto" and workers > 1)
+        if self.codec_pool is not None and cfg.execution != "serial":
+            # An external (service-plane) pool amortizes worker startup
+            # across jobs; use it whenever parallel execution is allowed.
+            use_parallel = True
+            workers = self.codec_pool.workers
         sched_kwargs = dict(
             cpu_offload_fraction=cfg.cpu_offload_fraction,
             fuse_gates=cfg.fuse_gates,
@@ -271,22 +317,28 @@ class MemQSim:
             telemetry=tel,
             backend=backend,
             max_fuse_qubits=cfg.max_fuse_qubits,
+            cancel=self.cancel,
         )
         codec_pool = None
+        owns_codec_pool = False
         if use_parallel:
             from ..parallel import CodecWorkerPool, ParallelStageScheduler
 
-            codec_pool = CodecWorkerPool(
-                store.compressor, workers=workers,
-                shm_threshold=cfg.shm_threshold_bytes, telemetry=tel,
-            )
+            codec_pool = self.codec_pool
+            if codec_pool is None:
+                codec_pool = CodecWorkerPool(
+                    store.compressor, workers=workers,
+                    shm_threshold=cfg.shm_threshold_bytes, telemetry=tel,
+                )
+                owns_codec_pool = True
             scheduler = ParallelStageScheduler(
                 layout, store_like, executors, pool, timeline,
                 codec_pool=codec_pool, **sched_kwargs,
             )
-            log.debug("online: parallel engine, %d codec workers (%s)",
+            log.debug("online: parallel engine, %d codec workers (%s%s)",
                       workers,
-                      "process pool" if codec_pool.is_parallel else "inline")
+                      "process pool" if codec_pool.is_parallel else "inline",
+                      "" if owns_codec_pool else ", shared")
         else:
             scheduler = StageScheduler(
                 layout, store_like, executors, pool, timeline, **sched_kwargs,
@@ -298,11 +350,14 @@ class MemQSim:
                 if store_like is not store:
                     store_like.flush()
         finally:
-            if codec_pool is not None:
+            # Cleanup must run on *every* exit (including JobCancelled):
+            # a shared external pool is never closed here, and executors
+            # on a shared arena must not leak staging allocations.
+            if codec_pool is not None and owns_codec_pool:
                 codec_pool.close()
-        pool.close()
-        for ex in executors:
-            ex.reset()
+            pool.close()
+            for ex in executors:
+                ex.reset()
 
         # Close the resource timeline before timing stops so the final
         # sample (store recompressed, arena drained) is part of the record.

@@ -71,6 +71,24 @@ class MemQSimResult:
     def norm(self) -> float:
         return float(np.sqrt(self.chunk_probability_masses().sum()))
 
+    def state_digest(self) -> str:
+        """Hex sha256 over the exact amplitude bytes, chunk by chunk.
+
+        Streams one decompression pass (never densifies the full vector),
+        so it is usable at any qubit count. Two runs produce the same
+        digest iff their final states are **bit-identical** — the
+        ``run_equivalence``-grade check, as one cheap comparable string.
+        The service plane uses it to prove concurrent shared-arena jobs
+        match their solo-run results.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for k in range(self.store.layout.num_chunks):
+            h.update(np.ascontiguousarray(
+                self.store.load(k), dtype=np.complex128).tobytes())
+        return h.hexdigest()
+
     def probability_of(self, index: int) -> float:
         c, o = self.store.layout.split(index)
         amp = self.store.load(c)[o]

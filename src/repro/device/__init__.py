@@ -1,6 +1,6 @@
 """Simulated device: specs, arena, transfer strategies, executor, timeline."""
 
-from .arena import DeviceArena, DeviceBuffer, DeviceOutOfMemory
+from .arena import ArenaLease, DeviceArena, DeviceBuffer, DeviceOutOfMemory
 from .executor import DeviceExecutor, KernelLaunch
 from .spec import DeviceSpec, HostSpec
 from .timeline import (
@@ -25,6 +25,7 @@ __all__ = [
     "DeviceSpec",
     "HostSpec",
     "DeviceArena",
+    "ArenaLease",
     "DeviceBuffer",
     "DeviceOutOfMemory",
     "DeviceExecutor",

@@ -73,12 +73,18 @@ class DeviceExecutor:
         tracker: Optional[MemoryTracker] = None,
         backend=None,
         telemetry=None,
+        arena: Optional[DeviceArena] = None,
     ):
         """``backend`` is any object with ``apply_ops(buf, ops)`` (see
-        :mod:`repro.core.backend`); ``None`` uses the numpy kernels."""
+        :mod:`repro.core.backend`); ``None`` uses the numpy kernels.
+        ``arena`` injects an external (possibly shared, multi-tenant)
+        :class:`DeviceArena`; the executor then allocates from it but does
+        not own it — :meth:`reset` leaves other tenants' buffers alone."""
         self.spec = spec if spec is not None else DeviceSpec()
         self.tracker = tracker if tracker is not None else MemoryTracker()
-        self.arena = DeviceArena(self.spec, self.tracker)
+        self._owns_arena = arena is None
+        self.arena = arena if arena is not None \
+            else DeviceArena(self.spec, self.tracker)
         self.timeline = timeline if timeline is not None else Timeline()
         self.transfer = transfer if transfer is not None else make_strategy("sync")
         if backend is None:
@@ -156,9 +162,14 @@ class DeviceExecutor:
     run_gates = run_ops
 
     def reset(self) -> None:
-        """Release all device memory and pending work."""
+        """Release all device memory and pending work.
+
+        With an injected shared arena, only the pending kernel queue is
+        dropped — a bulk arena reset would free *other* tenants' live
+        buffers (the scheduler already frees its per-pass allocations)."""
         self._queue.clear()
-        self.arena.reset()
+        if self._owns_arena:
+            self.arena.reset()
 
     def __repr__(self) -> str:
         return (

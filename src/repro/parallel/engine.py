@@ -83,6 +83,10 @@ class ParallelStageScheduler(StageScheduler):
         prefetch = None  # (buffer, decompress jobs) for the next group
         try:
             for idx, (gi, members) in enumerate(order):
+                # Group-pass cancellation checkpoint, mirroring the serial
+                # engine; the finally block below drains any prefetched
+                # loads and pending stores so the store stays consistent.
+                self.cancel.raise_if_cancelled()
                 cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
                 ops = self._ops_for_group(stage, placement, members[0])
                 if prefetch is None:

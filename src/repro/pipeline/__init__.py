@@ -1,12 +1,16 @@
 """Pipeline: offline planner, online scheduler, CPU offload policy."""
 
 from .autotune import TuneReport, autotune_chunk_qubits
+from .cancel import NULL_CANCEL, CancelToken, JobCancelled
 from .cpu_offload import OffloadAdvice, advise_from_timeline, balanced_offload_fraction
 from .planner import PlanReport, describe_plan, max_group_qubits_for, plan_stages
 from .scheduler import StageScheduler, remap_gate_for_group, restrict_diagonal
 from .stages import GateStage, PermutationStage
 
 __all__ = [
+    "CancelToken",
+    "JobCancelled",
+    "NULL_CANCEL",
     "GateStage",
     "PermutationStage",
     "plan_stages",

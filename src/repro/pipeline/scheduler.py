@@ -39,6 +39,7 @@ from ..memory.bufferpool import BufferPool
 from ..memory.chunkstore import CompressedChunkStore
 from ..memory.layout import ChunkLayout, GroupPlacement
 from ..telemetry import NULL_TELEMETRY, get_logger
+from .cancel import NULL_CANCEL
 from .stages import GateStage, PermutationStage
 
 __all__ = ["StageScheduler", "remap_gate_for_group", "restrict_diagonal"]
@@ -162,6 +163,7 @@ class StageScheduler:
         telemetry=None,
         backend=None,
         max_fuse_qubits: int = 3,
+        cancel=None,
     ):
         """``executor`` is one DeviceExecutor or a sequence of them; with
         several, chunk groups are distributed round-robin (simulated
@@ -173,7 +175,12 @@ class StageScheduler:
         :mod:`repro.core.backend`); ``None`` uses the numpy kernels.
         ``fuse_gates`` / ``max_fuse_qubits`` configure the lazy compile of
         raw :class:`GateStage` inputs — stages already lowered by
-        :func:`repro.compile.compile_stages` run as-is."""
+        :func:`repro.compile.compile_stages` run as-is.
+        ``cancel`` is an optional :class:`~repro.pipeline.cancel
+        .CancelToken` polled at every group-pass boundary: when it fires,
+        the current pass finishes (the store stays chunk-consistent) and
+        :class:`~repro.pipeline.cancel.JobCancelled` is raised before the
+        next pass starts."""
         if not 0.0 <= cpu_offload_fraction <= 1.0:
             raise ValueError("cpu_offload_fraction must be in [0, 1]")
         self.layout = layout
@@ -202,6 +209,7 @@ class StageScheduler:
             fusion=self.fuse_gates,
             max_fuse_qubits=max_fuse_qubits,
         )
+        self.cancel = cancel if cancel is not None else NULL_CANCEL
         self._stage_parity = 0
         self._stage_index = 0
         self.stats = SchedulerStats()
@@ -242,6 +250,7 @@ class StageScheduler:
     def run(self, stages: Sequence[object]) -> None:
         log.debug("scheduler: running %d stages", len(stages))
         for s in stages:
+            self.cancel.raise_if_cancelled()
             self.run_stage(s)
 
     # -- permutation stages ---------------------------------------------------------
@@ -281,6 +290,7 @@ class StageScheduler:
         cpu_every = self._cpu_every()
         order = self._group_order(placement)
         for gi, members in order:
+            self.cancel.raise_if_cancelled()
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
             ops = self._ops_for_group(stage, placement, members[0])
             with self.telemetry.span(

@@ -1,0 +1,99 @@
+"""Thin stdlib HTTP client for the job daemon.
+
+Wraps :mod:`urllib.request` so the CLI (``python -m repro submit/jobs/
+result/cancel``), the test suite, and the CI smoke job all speak to the
+daemon through one code path. Every method returns the decoded JSON
+document; HTTP errors surface as :class:`ServeAPIError` carrying the
+status code and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["ServeClient", "ServeAPIError"]
+
+
+class ServeAPIError(RuntimeError):
+    """Non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """``ServeClient("http://127.0.0.1:9645")`` — one daemon, many calls."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except Exception:  # noqa: BLE001 — body may not be JSON
+                message = str(exc.reason)
+            raise ServeAPIError(exc.code, message) from exc
+
+    # -- API -----------------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        return self._request("GET", "/")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        req = urllib.request.Request(self.url + "/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode()
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``; returns the job snapshot."""
+        return self._request("POST", "/jobs", payload)["job"]
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/{id}/result`` (raises 409/410 while unfinished)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")["job"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in ("done", "failed", "cancelled"):
+                return snap
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snap['state']} after {timeout}s")
+            time.sleep(poll)
+
+    def __repr__(self) -> str:
+        return f"<ServeClient {self.url}>"

@@ -1,0 +1,108 @@
+"""The compiled-plan cache: amortize the offline stage across submissions.
+
+The daemon's planner/compiler work — stage partitioning, group placement,
+gate lowering and fusion — depends only on the circuit's structure and on
+the plan-affecting config knobs, never on amplitudes. Identical
+submissions (the common case for a service: the same parameterized
+circuit re-run with different shots/codecs/tenants) can therefore reuse
+one lowered plan.
+
+:class:`PlanCache` is a small thread-safe LRU keyed on
+
+    (``Circuit.structural_hash()``, ``MemQSimConfig.plan_key()``,
+     resolved ``chunk_qubits``)
+
+— exactly the tuple :class:`~repro.core.MemQSim` builds when handed a
+``plan_cache``. Cached entries hold ``(PlanReport, CompiledPlan)``; both
+are immutable once built, so entries are shared across concurrent jobs
+without copying. Hit/miss/eviction counts surface as the
+``serve.plan_cache.*`` counters on the daemon's telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+from ..telemetry import NULL_TELEMETRY
+
+__all__ = ["PlanCache"]
+
+#: default number of distinct (circuit, config) plans kept resident
+DEFAULT_CAPACITY = 64
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled plans.
+
+    Duck-type contract consumed by :class:`~repro.core.MemQSim`:
+    ``lookup(key) -> entry | None`` and ``store(key, entry)``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, telemetry=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """The cached entry for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self.telemetry.enabled:
+            name = "serve.plan_cache.hit" if entry is not None \
+                else "serve.plan_cache.miss"
+            self.telemetry.metrics.counter(name).inc()
+        return entry
+
+    def store(self, key: Hashable, entry: Any) -> None:
+        """Insert (or refresh) ``key``; evicts least-recently-used."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and self.telemetry.enabled:
+            self.telemetry.metrics.counter("serve.plan_cache.evict").inc(
+                evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"<PlanCache {s['size']}/{s['capacity']} "
+                f"hits={s['hits']} misses={s['misses']}>")

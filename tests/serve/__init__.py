@@ -1,0 +1,1 @@
+"""Tests for the service plane (repro.serve)."""

@@ -1,0 +1,136 @@
+"""Cancellation and graceful shutdown."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.circuits import qft
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.pipeline import CancelToken, JobCancelled, NULL_CANCEL
+from repro.serve import ServeManager
+from repro.telemetry import Telemetry
+
+
+def small_base(**kw) -> MemQSimConfig:
+    return MemQSimConfig(device=DeviceSpec(memory_bytes=(1 << 11) * 16),
+                         chunk_qubits=5, **kw)
+
+
+class TestCancelToken:
+    def test_lifecycle(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while live
+        token.cancel("because")
+        assert token.cancelled
+        assert token.reason == "because"
+        with pytest.raises(JobCancelled, match="because"):
+            token.raise_if_cancelled()
+
+    def test_null_token_never_fires(self):
+        NULL_CANCEL.raise_if_cancelled()
+        assert not NULL_CANCEL.cancelled
+
+    def test_precancelled_run_raises_before_any_stage(self):
+        token = CancelToken()
+        token.cancel("early")
+        sim = MemQSim(small_base(), cancel=token)
+        with pytest.raises(JobCancelled):
+            sim.run(qft(9))
+
+    def test_mid_run_cancel_stops_at_pass_boundary(self):
+        """A token firing at the Nth boundary checkpoint stops the run
+        right there — deterministic stand-in for an async cancel."""
+
+        class FireAtNthCheck(CancelToken):
+            def __init__(self, n: int):
+                super().__init__()
+                self.checks = 0
+                self.n = n
+
+            def raise_if_cancelled(self) -> None:
+                self.checks += 1
+                if self.checks == self.n:
+                    self.cancel("mid-run")
+                super().raise_if_cancelled()
+
+        token = FireAtNthCheck(3)
+        sim = MemQSim(small_base(), cancel=token)
+        with pytest.raises(JobCancelled, match="mid-run"):
+            sim.run(qft(11))
+        assert token.checks == 3  # nothing polled past the firing pass
+
+
+class TestManagerCancel:
+    def test_cancel_running_job(self):
+        mgr = ServeManager(small_base(), Telemetry())
+        try:
+            job = mgr.submit({"workload": "qft", "qubits": 11})
+            deadline = time.monotonic() + 30
+            while job.state != "running" and time.monotonic() < deadline:
+                time.sleep(0.005)
+            mgr.cancel(job.id)
+            deadline = time.monotonic() + 30
+            while not job.finished and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # either it stopped at a pass boundary, or it was already in
+            # its last pass and completed — both are clean exits
+            assert job.state in ("cancelled", "done")
+            assert mgr.arena.leased_amplitudes == 0
+            assert mgr.arena.used == 0
+        finally:
+            mgr.shutdown()
+
+
+class TestGracefulShutdown:
+    def test_queued_jobs_cancelled_and_events_flushed(self, tmp_path):
+        events_dir = str(tmp_path / "events")
+        mgr = ServeManager(small_base(), Telemetry(),
+                           events_dir=events_dir)
+        block = mgr.arena.lease(mgr.arena.capacity, name="block")
+        queued = [mgr.submit({"workload": "qft", "qubits": 9,
+                              "tenant": f"t{i}"}) for i in range(3)]
+        mgr.arena.release_lease(block)  # not required, but realistic
+        mgr.shutdown()
+        assert all(j.state in ("cancelled", "done") for j in queued)
+        # every tracked job flushed an events file (possibly empty for
+        # jobs cancelled before they started)
+        for job in queued:
+            assert os.path.exists(
+                os.path.join(events_dir, f"{job.id}.events.jsonl"))
+        assert mgr.arena.leased_amplitudes == 0
+        assert mgr.codec_pool is None
+
+    def test_shutdown_is_idempotent_and_rejects_new_work(self):
+        from repro.serve import JobRejected
+
+        mgr = ServeManager(small_base(), Telemetry())
+        job = mgr.submit({"workload": "ghz", "qubits": 8})
+        deadline = time.monotonic() + 30
+        while not job.finished and time.monotonic() < deadline:
+            time.sleep(0.01)
+        mgr.shutdown()
+        mgr.shutdown()
+        with pytest.raises(JobRejected, match="shutting down"):
+            mgr.submit({"workload": "ghz", "qubits": 8})
+
+    def test_shutdown_releases_shared_pool_workers(self):
+        """A daemon with a shared worker pool leaves no orphans behind."""
+        mgr = ServeManager(small_base(workers=2, execution="parallel"),
+                           Telemetry())
+        pool = mgr.codec_pool
+        assert pool is not None and pool.workers == 2
+        job = mgr.submit({"workload": "qft", "qubits": 9})
+        deadline = time.monotonic() + 60
+        while not job.finished and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert job.state == "done", job.error
+        mgr.shutdown()
+        assert mgr.codec_pool is None
+        # the process pool is gone (late submits degrade to inline, the
+        # pool's documented post-close behavior — but no orphan workers)
+        assert pool._closed and pool._exec is None
