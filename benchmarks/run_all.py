@@ -38,6 +38,7 @@ EXPERIMENTS = {
     "CD1": ("bench_codec", "fast"),
     "LV1": ("bench_live_overhead", "fast"),
     "SV1": ("bench_serve", "fast"),
+    "MT1": ("bench_memtrace", "fast"),
 }
 
 

@@ -1,7 +1,17 @@
-"""Analysis helpers: fidelity propagation, reporting, sweeps."""
+"""Analysis helpers: fidelity propagation, reporting, sweeps, memtrace."""
 
+from .audit import AuditReport, audit_run, predict_access_schedule, predict_traffic
 from .fidelity import GrowthPoint, StateComparison, compare_states, error_growth_profile
 from .htmlreport import render_html, write_html
+from .memtrace import (
+    MemTraceReport,
+    analyze_trace,
+    belady_misses,
+    hit_rate_curve,
+    reuse_distance_histogram,
+    reuse_distances,
+    simulate_lru,
+)
 from .report import Table, format_bytes, format_seconds
 from .sweeps import SweepRecord, dense_reference, sweep
 
@@ -18,4 +28,15 @@ __all__ = [
     "SweepRecord",
     "sweep",
     "dense_reference",
+    "MemTraceReport",
+    "analyze_trace",
+    "reuse_distances",
+    "reuse_distance_histogram",
+    "hit_rate_curve",
+    "simulate_lru",
+    "belady_misses",
+    "AuditReport",
+    "audit_run",
+    "predict_access_schedule",
+    "predict_traffic",
 ]

@@ -11,7 +11,10 @@ opens from ``file://``) with:
   :class:`~repro.telemetry.monitor.ResourceMonitor` series (the shape of
   the paper's Fig. 2) — RSS, compressed store, device arena;
 * the **per-chunk compression-ratio table** and the metrics snapshot
-  (counters + derived gauges).
+  (counters + derived gauges);
+* the **memory-traffic ledger** (bytes per tier edge, per-stage
+  attribution) and, when an access trace was recorded, the exact
+  **LRU hit-rate-vs-capacity what-if curve**.
 
 Reachable as ``python -m repro report <workload>`` or from Python::
 
@@ -364,6 +367,93 @@ def _metrics_section(result) -> str:
     return out
 
 
+def _traffic_section(result) -> str:
+    """Per-stage byte movement from the run's traffic ledger."""
+    ledger = getattr(result.telemetry, "traffic", None)
+    if ledger is None or not getattr(ledger, "enabled", False):
+        return ('<p class="note">no traffic ledger on this run '
+                '(telemetry disabled).</p>')
+    totals = ledger.totals()
+    if not totals:
+        return '<p class="note">the ledger recorded no byte movement.</p>'
+    trows = "".join(
+        f"<tr><td>{_esc(edge)}</td>"
+        f"<td>{_esc(format_bytes(v['bytes']))}</td>"
+        f"<td>{_fmt(v['ops'])}</td></tr>"
+        for edge, v in totals.items())
+    by_stage = ledger.by_stage()
+    edges = sorted({e for row in by_stage.values() for e in row})
+    head = "".join(f"<th>{_esc(e)}</th>" for e in edges)
+    srows = []
+    for stage, row in by_stage.items():
+        label = "init / queries" if stage < 0 else f"stage {stage}"
+        cells = "".join(
+            f"<td>{_esc(format_bytes(row[e])) if e in row else '-'}</td>"
+            for e in edges)
+        srows.append(f"<tr><td>{_esc(label)}</td>{cells}</tr>")
+    return (f'<table><tr><th>tier edge</th><th>bytes</th><th>ops</th></tr>'
+            f'{trows}</table>'
+            f'<details><summary>per-stage attribution</summary>'
+            f'<table><tr><th>stage</th>{head}</tr>{"".join(srows)}</table>'
+            f'</details>')
+
+
+def _memtrace_section(result) -> str:
+    """Hit-rate-vs-capacity curve from the recorded access trace."""
+    access = getattr(result.telemetry, "access", None)
+    if access is None or not getattr(access, "enabled", False) \
+            or not len(access):
+        return ('<p class="note">no access trace recorded — attach a '
+                '<code>ChunkAccessRecorder</code> (or run '
+                '<code>repro run --mem-trace-out</code>) to see the '
+                'what-if cache curve.</p>')
+    from .memtrace import hit_rate_curve
+
+    caps, rates = hit_rate_curve(access.trace())
+    if not caps:
+        return '<p class="note">trace holds no read accesses.</p>'
+    width, height, left, top, bottom = 960, 200, 70, 10, 24
+    plot_w, plot_h = width - left - 16, height - top - bottom
+    cmax = max(caps[-1], 1)
+    pts = [(left + c / cmax * plot_w,
+            top + plot_h - r * plot_h) for c, r in zip(caps, rates)]
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="LRU hit rate vs cache capacity">']
+    for frac in (0.0, 0.5, 1.0):
+        y = top + plot_h - frac * plot_h
+        parts.append(f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+                     f'y2="{y:.1f}" stroke="var(--grid)" '
+                     f'stroke-width="0.5"/>')
+        parts.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{frac * 100:.0f}%</text>')
+    parts.append(f'<polyline points="{_poly(pts)}" fill="none" '
+                 f'stroke="var(--slot1)" stroke-width="2" '
+                 f'stroke-linejoin="round">'
+                 f'<title>exact LRU hit rate (stack distance)</title>'
+                 f'</polyline>')
+    for i in (len(pts) // 2, len(pts) - 1):
+        x, y = pts[i]
+        tip = f"capacity {caps[i]} chunks: {rates[i] * 100:.1f}% hits"
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                     f'fill="var(--slot1)" stroke="var(--surface-1)" '
+                     f'stroke-width="2"><title>{_esc(tip)}</title></circle>')
+    for frac in (0.0, 0.5, 1.0):
+        x = left + frac * plot_w
+        parts.append(f'<text x="{x:.0f}" y="{height - 6}" '
+                     f'text-anchor="middle">{cmax * frac:.0f} chunks</text>')
+    parts.append("</svg>")
+    step = max(1, len(caps) // 16)
+    rows = "".join(
+        f"<tr><td>{caps[i]}</td><td>{rates[i] * 100:.1f}%</td></tr>"
+        for i in range(0, len(caps), step))
+    return (f'<p class="sub">exact what-if: LRU read hit rate at every '
+            f'cache capacity, from {len(access)} recorded accesses</p>'
+            + "".join(parts)
+            + f'<details><summary>curve (table view)</summary>'
+              f'<table><tr><th>capacity (chunks)</th><th>hit rate</th></tr>'
+              f'{rows}</table></details>')
+
+
 def _events_section(result, max_rows: int = 200) -> str:
     """The live bus's retained event tail as a timeline table."""
     bus = getattr(result.telemetry, "bus", None)
@@ -405,6 +495,7 @@ def render_html(result, *, title: str = "MEMQSim run report",
     """
     ratio = result.compression_ratio
     ratio_txt = "∞" if math.isinf(ratio) else f"{ratio:.1f}x"
+    extra_q = result._extra_qubits()
     tiles = [
         ("wall time", format_seconds(result.wall_seconds)),
         ("pipelined makespan",
@@ -414,6 +505,7 @@ def render_html(result, *, title: str = "MEMQSim run report",
         ("peak host", format_bytes(result.peak_host_bytes)),
         ("dense would be", format_bytes(result.dense_bytes)),
         ("qubits", str(result.num_qubits)),
+        ("effective qubits gained", f"+{extra_q:.1f}"),
     ]
     tile_html = "".join(
         f'<div class="tile"><div class="v">{_esc(v)}</div>'
@@ -430,6 +522,10 @@ def render_html(result, *, title: str = "MEMQSim run report",
         _compression_section(result, max_table_rows),
         "<h2>Compile / gate fusion</h2>",
         _compile_section(result),
+        "<h2>Memory traffic</h2>",
+        _traffic_section(result),
+        "<h2>Cache what-if (access trace)</h2>",
+        _memtrace_section(result),
         "<h2>Metrics</h2>",
         _metrics_section(result),
         "<h2>Live events</h2>",
@@ -443,6 +539,7 @@ def render_html(result, *, title: str = "MEMQSim run report",
 def write_html(result, path: str, **kwargs) -> int:
     """Write the report file; returns bytes written."""
     doc = render_html(result, **kwargs)
-    with open(path, "w") as fh:
-        fh.write(doc)
-    return len(doc)
+    data = doc.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)

@@ -14,6 +14,12 @@ Commands:
 * ``report`` — run a workload with telemetry + resource monitoring forced
   on and render a self-contained HTML run report (stage timeline, memory
   curve, compression table — no external assets, opens from ``file://``).
+* ``memtrace`` — record a run's exact chunk access sequence and analyze
+  its reuse: distance histogram, the exact LRU hit-rate-vs-capacity
+  curve, and the Belady-optimal miss bound vs the live LRU cache.
+* ``audit`` — plan-vs-actual verification: the access schedule predicted
+  from the compiled plan must match the recorded one exactly, and the
+  measured bytes must fall inside the predicted traffic envelope.
 * ``top`` — live terminal dashboard for a running simulation: polls the
   ``/progress`` endpoint of a run started with ``--serve-metrics``.
 * ``serve`` — persistent multi-tenant job daemon: accepts circuit
@@ -32,6 +38,9 @@ Examples::
     python -m repro plan grover -n 12 --chunk-qubits 6
     python -m repro trace qft -n 12 --trace-out qft.trace.json
     python -m repro report qft -n 12 -o qft.report.html
+    python -m repro run qft -n 12 --mem-trace-out qft.access.jsonl
+    python -m repro memtrace vqe -n 12 --device-mb 0.002 --cache-chunks 16
+    python -m repro audit qft -n 12 --device-mb 0.002
     python -m repro run qft -n 15 --monitor --serve-metrics 9644 --live
     python -m repro top --port 9644
     python -m repro serve --port 9645 --device-mb 64 --max-jobs 4
@@ -100,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "stream (bit-identity fingerprint; also lands "
                            "in --json output)")
     _add_telemetry_args(runp)
+    runp.add_argument("--mem-trace-out", metavar="FILE",
+                      help="record the exact per-chunk access sequence and "
+                           "write it as JSONL (analyze with `repro "
+                           "memtrace`)")
     runp.add_argument("--json", nargs="?", const="-", default=None,
                       metavar="FILE",
                       help="emit the full result as JSON (to FILE, or to "
@@ -157,6 +170,54 @@ def build_parser() -> argparse.ArgumentParser:
     repp.add_argument("-o", "--out", metavar="FILE",
                       help="output path (default <workload>.report.html)")
     repp.add_argument("--title", help="report title")
+
+    mtp = sub.add_parser(
+        "memtrace",
+        help="record a run's chunk access trace and analyze its reuse: "
+             "distance histogram, hit-rate-vs-capacity curve, and the "
+             "Belady-optimal miss bound vs the live LRU cache")
+    mtp.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    mtp.add_argument("-n", "--qubits", type=int, default=12)
+    mtp.add_argument("--compressor", default="szlike")
+    mtp.add_argument("--error-bound", type=float, default=1e-6)
+    mtp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    mtp.add_argument("--cache-chunks", type=int, default=4, metavar="C",
+                     help="LRU chunk-cache capacity to run with (the "
+                          "analysis then sweeps every capacity)")
+    mtp.add_argument("--device-mb", type=float, default=256.0,
+                     help="device arena size; small values force "
+                          "multi-stage streaming (more chunk reuse)")
+    mtp.add_argument("--serpentine", action=argparse.BooleanOptionalAction,
+                     default=True)
+    mtp.add_argument("--trace-in", metavar="FILE",
+                     help="analyze a trace recorded earlier with "
+                          "`run --mem-trace-out` instead of running")
+    mtp.add_argument("--json", action="store_true",
+                     help="print the analysis as JSON")
+
+    audp = sub.add_parser(
+        "audit",
+        help="verify a run against its compiled plan: predicted access "
+             "schedule must match the recorded one exactly, and measured "
+             "bytes must fall inside the predicted traffic envelope")
+    audp.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    audp.add_argument("-n", "--qubits", type=int, default=12)
+    audp.add_argument("--compressor", default="szlike")
+    audp.add_argument("--error-bound", type=float, default=1e-6)
+    audp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    audp.add_argument("--device-mb", type=float, default=256.0,
+                      help="device arena size; small values force "
+                           "multi-stage streaming")
+    audp.add_argument("--serpentine", action=argparse.BooleanOptionalAction,
+                      default=True)
+    audp.add_argument("--ratio-slack", type=float, default=1.25,
+                      help="compressed-bytes envelope: compressed <= "
+                           "slack * raw (default 1.25)")
+    audp.add_argument("--json", action="store_true",
+                      help="print the audit report as JSON")
+    audp.add_argument("--perturb", action="store_true",
+                      help=argparse.SUPPRESS)  # CI: corrupt the measured
+    # trace before comparing, to prove the audit actually fails on drift
 
     topp = sub.add_parser(
         "top",
@@ -331,6 +392,7 @@ def _telemetry_from_args(args, force: bool = False) -> Telemetry:
     # not after minutes of work.
     for path in (args.trace_out, args.jsonl_out, args.metrics_out,
                  getattr(args, "events_out", None),
+                 getattr(args, "mem_trace_out", None),
                  getattr(args, "json", None)):
         if path and path != "-":
             parent = os.path.dirname(os.path.abspath(path))
@@ -343,7 +405,8 @@ def _telemetry_from_args(args, force: bool = False) -> Telemetry:
                          or getattr(args, "monitor", False)
                          or getattr(args, "serve_metrics", None) is not None
                          or getattr(args, "live", False)
-                         or getattr(args, "events_out", None))
+                         or getattr(args, "events_out", None)
+                         or getattr(args, "mem_trace_out", None))
     return Telemetry() if want else NULL_TELEMETRY
 
 
@@ -372,11 +435,18 @@ def _export_telemetry(tel: Telemetry, args) -> None:
         dropped = tel.bus.dropped
         note = f", {dropped} older dropped by the ring" if dropped else ""
         print(f"event JSONL written: {args.events_out} ({n} events{note})")
+    if getattr(args, "mem_trace_out", None) and tel.access.enabled:
+        n = tel.access.write_jsonl(args.mem_trace_out)
+        print(f"access trace written: {args.mem_trace_out} ({n} accesses)")
 
 
 def _cmd_run(args) -> int:
     circuit = _load_circuit(args)
     tel = _telemetry_from_args(args)
+    if args.mem_trace_out:
+        from .telemetry import ChunkAccessRecorder
+
+        tel.access = ChunkAccessRecorder()
     opts = {}
     if args.compressor in ("szlike", "adaptive"):
         opts["error_bound"] = args.error_bound
@@ -597,13 +667,117 @@ def _cmd_report(args) -> int:
         monitor_interval_ms=args.monitor_interval,
     )
     circuit = get_workload(args.workload, args.qubits)
-    res = MemQSim(cfg, telemetry=Telemetry()).run(circuit)
+    from .telemetry import ChunkAccessRecorder
+
+    tel = Telemetry()
+    tel.access = ChunkAccessRecorder()  # feeds the cache what-if section
+    res = MemQSim(cfg, telemetry=tel).run(circuit)
     title = args.title or (f"MEMQSim: {args.workload} n={args.qubits} "
                            f"({args.compressor})")
     nb = write_html(res, out, title=title)
     print(res.report())
     print(f"\nHTML report written: {out} ({format_bytes(nb)})")
     return 0
+
+
+def _cmd_memtrace(args) -> int:
+    """Record (or load) an access trace and analyze its reuse behaviour."""
+    from .analysis.memtrace import analyze_trace
+    from .telemetry import ChunkAccessRecorder
+
+    measured = None
+    if args.trace_in:
+        trace = ChunkAccessRecorder.read_jsonl(args.trace_in)
+        if not trace:
+            raise SystemExit(f"memtrace: {args.trace_in} holds no accesses")
+        capacity = max(1, args.cache_chunks)
+    else:
+        if args.cache_chunks < 1:
+            raise SystemExit("memtrace: --cache-chunks must be >= 1")
+        capacity = args.cache_chunks
+        tel = Telemetry()
+        rec = ChunkAccessRecorder()
+        tel.access = rec
+        opts = {}
+        if args.compressor in ("szlike", "adaptive"):
+            opts["error_bound"] = args.error_bound
+        cfg = MemQSimConfig(
+            chunk_qubits=args.chunk_qubits,
+            compressor=args.compressor,
+            compressor_options=opts,
+            device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+            cache_chunks=capacity,
+            cache_policy="lru",  # the policy the analysis simulates
+            execution="serial",
+            serpentine_groups=args.serpentine,
+        )
+        res = MemQSim(cfg, telemetry=tel).run(
+            get_workload(args.workload, args.qubits))
+        trace = rec.trace()
+        stats = getattr(res.store, "cache_stats", None)
+        if stats is not None:
+            measured = stats.misses
+    report = analyze_trace(trace, capacity, measured_lru_misses=measured)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    """Run under the audit contract and verify plan-vs-actual behaviour."""
+    from .analysis.audit import audit_run
+    from .telemetry import ChunkAccessRecorder
+
+    tel = Telemetry()
+    rec = ChunkAccessRecorder()
+    tel.access = rec
+
+    class _CapturePlanCache:
+        """Plan-cache shim that exposes the compiled plan to the audit."""
+
+        plan = None
+
+        def lookup(self, key):
+            return None
+
+        def store(self, key, value):
+            self.plan = value
+
+    cap = _CapturePlanCache()
+    opts = {}
+    if args.compressor in ("szlike", "adaptive"):
+        opts["error_bound"] = args.error_bound
+    # The audit contract: serial engine, no chunk cache, no CPU offload —
+    # the deterministic edges are only exact when every group takes the
+    # device path and every load reaches the codec.
+    cfg = MemQSimConfig(
+        chunk_qubits=args.chunk_qubits,
+        compressor=args.compressor,
+        compressor_options=opts,
+        device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        cache_chunks=0,
+        cpu_offload_fraction=0.0,
+        execution="serial",
+        serpentine_groups=args.serpentine,
+    )
+    res = MemQSim(cfg, telemetry=tel, plan_cache=cap).run(
+        get_workload(args.workload, args.qubits))
+    if cap.plan is None:
+        raise SystemExit("audit: compiled plan was not captured")
+    _plan, cplan = cap.plan
+    trace = rec.trace()
+    if args.perturb and len(trace) >= 2:
+        trace[0], trace[-1] = trace[-1], trace[0]
+    report = audit_run(cplan.stages, res.store.layout, trace, tel.traffic,
+                       serpentine=args.serpentine,
+                       ratio_slack=args.ratio_slack)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_top(args) -> int:
@@ -757,6 +931,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "memtrace": _cmd_memtrace,
+        "audit": _cmd_audit,
         "top": _cmd_top,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -286,6 +286,14 @@ class MemQSimResult:
             return float("inf") if ratio > 0 else 0.0
         return math.log2(ratio)
 
+    def _extra_qubits(self) -> float:
+        """Qubit headroom from the *measured* peak store footprint."""
+        ratio = self.tracker.effective_ratio(self.num_qubits)
+        if not math.isfinite(ratio):
+            return 0.0
+        return MemoryTracker.extra_qubits_from_ratio(ratio) \
+            if ratio > 0 else 0.0
+
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The attached telemetry's metrics snapshot (empty if disabled)."""
         return self.telemetry.snapshot()
@@ -300,6 +308,9 @@ class MemQSimResult:
         def _num(x: float) -> Optional[float]:
             return x if math.isfinite(x) else None
 
+        eff_ratio = self.tracker.effective_ratio(self.num_qubits)
+        extra_q = (MemoryTracker.extra_qubits_from_ratio(eff_ratio)
+                   if eff_ratio > 0 else 0.0)
         out: Dict[str, Any] = {
             "num_qubits": self.num_qubits,
             "run_id": self.run_id,
@@ -323,6 +334,12 @@ class MemQSimResult:
                 "peak_device_bytes": self.peak_device_bytes,
                 "total_peak_bytes": self.tracker.total_peak(),
                 "dense_bytes": self.dense_bytes,
+                # dense footprint over the *store's* peak (what the run
+                # actually held resident), vs compression_ratio's
+                # raw-vs-compressed blob accounting
+                "effective_ratio": _num(eff_ratio),
+                "extra_qubits_from_ratio": _num(extra_q),
+                "effective_qubits": _num(self.num_qubits + extra_q),
             },
             "plan": {
                 "num_stages": self.plan.num_stages,
@@ -342,6 +359,8 @@ class MemQSimResult:
         }
         if self.compile_report is not None:
             out["compile"] = self.compile_report.to_dict()
+        if self.telemetry.enabled and self.telemetry.traffic.enabled:
+            out["traffic"] = self.telemetry.traffic.to_dict()
         if include_metrics and self.telemetry.enabled:
             out["metrics"] = self.metrics_snapshot()
         if self.resource_timeline is not None:
@@ -366,6 +385,8 @@ class MemQSimResult:
             f"  peak host bytes    {self.peak_host_bytes:>14,} "
             f"(dense would be {self.dense_bytes:,})",
             f"  peak device bytes  {self.peak_device_bytes:>14,}",
+            f"  effective qubits   {self.num_qubits} + "
+            f"{self._extra_qubits():.1f} from the measured store footprint",
             f"  plan: {self.plan.num_stages} stages "
             f"({self.plan.num_local_stages} local, "
             f"{self.plan.num_permutation_stages} permutation), "
@@ -392,4 +413,12 @@ class MemQSimResult:
                          "cache.hit", "cache.miss"):
                 if counters.get(name):
                     lines.append(f"    {name:<20} {counters[name]:>14,}")
+            totals = self.telemetry.traffic.totals()
+            if totals:
+                moved = sum(v["bytes"] for v in totals.values())
+                lines.append(f"  traffic ledger: {moved:,} bytes across "
+                             f"{len(totals)} tier edges")
+                for edge, v in totals.items():
+                    lines.append(f"    {edge:<22} {v['bytes']:>14,} B "
+                                 f"({v['ops']:,} ops)")
         return "\n".join(lines)

@@ -104,6 +104,7 @@ class TransferStrategy(abc.ABC):
             m.counter("transfer.h2d.bytes").inc(host.nbytes)
             m.counter("transfer.h2d.count").inc()
             m.histogram("transfer.h2d.seconds").observe(dt)
+            tel.traffic.record("arena", "h2d", host.nbytes)
         return dt
 
     def d2h(self, device: np.ndarray, host: np.ndarray) -> float:
@@ -120,6 +121,7 @@ class TransferStrategy(abc.ABC):
             m.counter("transfer.d2h.bytes").inc(host.nbytes)
             m.counter("transfer.d2h.count").inc()
             m.histogram("transfer.d2h.seconds").observe(dt)
+            tel.traffic.record("arena", "d2h", host.nbytes)
         return dt
 
     @abc.abstractmethod

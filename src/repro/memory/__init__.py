@@ -7,6 +7,15 @@ from .chunkstore import CompressedChunkStore, StoreStats
 from .diskstore import DiskChunkStore
 from .layout import ChunkLayout, GroupPlacement
 from .persist import StoreFormatError, load_store, save_store
+from .traffic import (
+    EDGES,
+    NULL_ACCESS_RECORDER,
+    NULL_TRAFFIC_LEDGER,
+    ChunkAccessRecorder,
+    NullChunkAccessRecorder,
+    NullTrafficLedger,
+    TrafficLedger,
+)
 
 __all__ = [
     "ChunkLayout",
@@ -22,4 +31,11 @@ __all__ = [
     "save_store",
     "load_store",
     "StoreFormatError",
+    "EDGES",
+    "TrafficLedger",
+    "NullTrafficLedger",
+    "NULL_TRAFFIC_LEDGER",
+    "ChunkAccessRecorder",
+    "NullChunkAccessRecorder",
+    "NULL_ACCESS_RECORDER",
 ]

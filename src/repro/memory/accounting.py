@@ -41,6 +41,7 @@ class MemoryTracker:
         self._peak: Dict[str, int] = {}
         self._total_peak = 0
         self._snapshots: List[MemorySnapshot] = []
+        self._last_event: Dict[str, int] = {}
         self.telemetry = telemetry
 
     def attach_telemetry(self, telemetry) -> None:
@@ -54,6 +55,16 @@ class MemoryTracker:
         tel = self.telemetry
         if tel is not None and tel.enabled:
             tel.metrics.gauge(f"mem.{category}.bytes").set(value)
+            # Publish significant balance changes on the live bus so
+            # dashboards / per-job SSE streams see occupancy *movement*
+            # without per-blob event flood: a category emits when it moved
+            # by >= 1/64 of its peak (and always on its first change).
+            last = self._last_event.get(category)
+            if last is None or \
+                    abs(value - last) >= max(1, self._peak.get(category, 0) >> 6):
+                self._last_event[category] = value
+                tel.emit("mem.gauge", category=category, bytes=value,
+                         peak=self._peak.get(category, 0))
 
     # -- mutation ---------------------------------------------------------
 

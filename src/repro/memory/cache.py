@@ -138,8 +138,13 @@ class ChunkCache:
                 self.cache_stats.writebacks += 1
                 dirty_n += 1
             self.tracker.free(CATEGORY, arr.nbytes)
-        if self.telemetry.enabled and dirty_n:
-            self.telemetry.metrics.counter("cache.writeback").inc(dirty_n)
+        if self.telemetry.enabled:
+            if dirty_n:
+                self.telemetry.metrics.counter("cache.writeback").inc(dirty_n)
+            if self._entries:
+                self.telemetry.emit("cache.flush",
+                                    resident=len(self._entries),
+                                    written_back=dirty_n)
         log.debug("cache flush: %d resident, %d written back",
                   len(self._entries), dirty_n)
         self._entries.clear()
@@ -154,10 +159,12 @@ class ChunkCache:
         entry = self._entries.get(chunk)
         if entry is not None:
             self.cache_stats.hits += 1
+            data = entry[0]
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter("cache.hit").inc()
+                # Bytes *served* from the cache: codec traffic avoided.
+                self.telemetry.traffic.record("cache", "hit", data.nbytes)
             self._touch(chunk)
-            data = entry[0]
             if out is not None:
                 out[: data.shape[0]] = data
                 return out
@@ -165,6 +172,9 @@ class ChunkCache:
         self.cache_stats.misses += 1
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("cache.miss").inc()
+            # Bytes fetched *past* the cache (the inner load's decompress).
+            self.telemetry.traffic.record(
+                "cache", "miss", self.inner.layout.chunk_nbytes)
         data = self.inner.load(chunk)
         self._insert(chunk, data, dirty=False)
         if out is not None:

@@ -136,6 +136,15 @@ class CompressedChunkStore:
         blob = self._blobs[chunk]
         if blob is None:
             raise KeyError(f"chunk {chunk} not initialized")
+        return self._decode(chunk, blob, out)
+
+    def _decode(self, chunk: int, blob: bytes,
+                out: Optional[np.ndarray]) -> np.ndarray:
+        """Decompress one blob with full stats/metrics/ledger accounting.
+
+        Shared by every load path (in-memory and disk) so byte accounting
+        stays identical regardless of where the blob came from.
+        """
         t0 = time.perf_counter()
         arr = self.compressor.decompress(blob)
         dt = time.perf_counter() - t0
@@ -146,6 +155,8 @@ class CompressedChunkStore:
         if tel.enabled:
             tel.metrics.counter("codec.decompress.bytes").inc(arr.nbytes)
             tel.metrics.histogram("codec.decompress.seconds").observe(dt)
+            tel.traffic.record("codec", "compressed_in", len(blob))
+            tel.traffic.record("codec", "raw_out", arr.nbytes)
         if arr.shape[0] != self.layout.chunk_size:
             raise ValueError(
                 f"chunk {chunk} decompressed to {arr.shape[0]} amplitudes, "
@@ -191,7 +202,8 @@ class CompressedChunkStore:
                     f"amplitudes, expected {cs}"
                 )
             out[i * cs:(i + 1) * cs] = arr
-            self.note_decompressed(arr.nbytes, 0.0)
+            self.note_decompressed(arr.nbytes, 0.0,
+                                   blob_nbytes=len(blobs[i]))
         self.stats.decompress_seconds += dt
         return out
 
@@ -209,12 +221,13 @@ class CompressedChunkStore:
         self.stats.compress_seconds += dt
 
     def put_blob(self, chunk: int, blob: bytes, *, seconds: float = 0.0,
-                 data_nbytes: int = 0) -> None:
+                 data_nbytes: int = 0, worker: int = 0) -> None:
         """Install an externally-compressed blob (codec worker-pool path).
 
         Accounting mirrors :meth:`store`: ``seconds`` is the codec time the
         producer measured (worker-side), ``data_nbytes`` the uncompressed
-        size the blob encodes.
+        size the blob encodes, ``worker`` the producing worker's pid (the
+        ledger keeps per-worker attributions that sum to parent totals).
         """
         self.stats.stores += 1
         self.stats.compress_seconds += seconds
@@ -225,10 +238,14 @@ class CompressedChunkStore:
             tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
             if seconds:
                 tel.metrics.histogram("codec.compress.seconds").observe(seconds)
+            tel.traffic.record("codec", "raw_in", data_nbytes, worker=worker)
+            tel.traffic.record("codec", "compressed_out", len(blob),
+                               worker=worker)
             self._note_entropy(tel, blob)
         self._set_blob(chunk, blob)
 
-    def note_decompressed(self, nbytes: int, seconds: float = 0.0) -> None:
+    def note_decompressed(self, nbytes: int, seconds: float = 0.0, *,
+                          blob_nbytes: int = 0, worker: int = 0) -> None:
         """Account a decompression performed outside :meth:`load` (workers)."""
         self.stats.loads += 1
         self.stats.decompress_seconds += seconds
@@ -238,6 +255,9 @@ class CompressedChunkStore:
             tel.metrics.counter("codec.decompress.bytes").inc(nbytes)
             if seconds:
                 tel.metrics.histogram("codec.decompress.seconds").observe(seconds)
+            tel.traffic.record("codec", "compressed_in", blob_nbytes,
+                               worker=worker)
+            tel.traffic.record("codec", "raw_out", nbytes, worker=worker)
 
     def _compress(self, data: np.ndarray) -> bytes:
         t0 = time.perf_counter()
@@ -251,6 +271,8 @@ class CompressedChunkStore:
             tel.metrics.counter("codec.compress.bytes_in").inc(data.nbytes)
             tel.metrics.counter("codec.compress.bytes_out").inc(len(blob))
             tel.metrics.histogram("codec.compress.seconds").observe(dt)
+            tel.traffic.record("codec", "raw_in", data.nbytes)
+            tel.traffic.record("codec", "compressed_out", len(blob))
             self._note_entropy(tel, blob)
         return blob
 

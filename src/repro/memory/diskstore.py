@@ -16,7 +16,6 @@ top of it.
 from __future__ import annotations
 
 import os
-import time
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -70,7 +69,16 @@ class DiskChunkStore(CompressedChunkStore):
         self._fh.write(blob)
         self._file_bytes += len(blob)
         self.tracker.alloc(CATEGORY, len(blob))
+        if self.telemetry.enabled:
+            self.telemetry.traffic.record("disk", "write", len(blob))
         return (off, len(blob))
+
+    def _read_record(self, rec: tuple) -> bytes:
+        self._fh.seek(rec[0])
+        blob = self._fh.read(rec[1])
+        if self.telemetry.enabled:
+            self.telemetry.traffic.record("disk", "read", len(blob))
+        return blob
 
     def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
         old = self._index[chunk]
@@ -91,21 +99,10 @@ class DiskChunkStore(CompressedChunkStore):
         rec = self._index[chunk]
         if rec is None:
             raise KeyError(f"chunk {chunk} not initialized")
-        self._fh.seek(rec[0])
-        blob = self._fh.read(rec[1])
-        t0 = time.perf_counter()
-        arr = self.compressor.decompress(blob)
-        self.stats.decompress_seconds += time.perf_counter() - t0
-        self.stats.loads += 1
-        self.stats.bytes_decompressed += arr.nbytes
-        if arr.shape[0] != self.layout.chunk_size:
-            raise ValueError(
-                f"chunk {chunk} decompressed to {arr.shape[0]} amplitudes"
-            )
-        if out is not None:
-            out[: arr.shape[0]] = arr
-            return out
-        return arr
+        # Shared decode path: codec stats/metrics/ledger accounting is
+        # byte-identical to the in-memory store; only the disk read is
+        # specific to this tier.
+        return self._decode(chunk, self._read_record(rec), out)
 
     # -- blob access overrides (the in-memory list stays empty) ----------------
 
@@ -113,8 +110,7 @@ class DiskChunkStore(CompressedChunkStore):
         rec = self._index[chunk]
         if rec is None:
             return None
-        self._fh.seek(rec[0])
-        return self._fh.read(rec[1])
+        return self._read_record(rec)
 
     def is_zero_chunk(self, chunk: int) -> bool:
         return (self._index[chunk] is not None
@@ -123,8 +119,7 @@ class DiskChunkStore(CompressedChunkStore):
     def zero_blob_bytes(self):
         if self._zero_record is None:
             return None
-        self._fh.seek(self._zero_record[0])
-        return self._fh.read(self._zero_record[1])
+        return self._read_record(self._zero_record)
 
     def compressed_nbytes(self) -> int:
         return self._live_bytes
@@ -166,9 +161,8 @@ class DiskChunkStore(CompressedChunkStore):
             if rec is not None:
                 records.setdefault(id(rec), rec)
         payloads = {}
-        for key, (off, length) in records.items():
-            self._fh.seek(off)
-            payloads[key] = self._fh.read(length)
+        for key, rec in records.items():
+            payloads[key] = self._read_record(rec)
         freed = self._file_bytes
         self._fh.seek(0)
         self._fh.truncate(0)

@@ -87,6 +87,7 @@ class ParallelStageScheduler(StageScheduler):
                 # engine; the finally block below drains any prefetched
                 # loads and pending stores so the store stays consistent.
                 self.cancel.raise_if_cancelled()
+                self.telemetry.traffic.set_pass(si, gi)
                 cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
                 ops = self._ops_for_group(stage, placement, members[0])
                 if prefetch is None:
@@ -101,7 +102,12 @@ class ParallelStageScheduler(StageScheduler):
                 # its decompression runs on the workers during the kernel.
                 if idx + 1 < len(order) and self.pool.available > 0:
                     nbuf = self.pool.acquire()
-                    prefetch = (nbuf, self._submit_loads(order[idx + 1][1]))
+                    # Blob reads for the *next* group (a disk store pays
+                    # them at submit) attribute to that group, not this one.
+                    with self.telemetry.traffic.attributed(
+                            si, order[idx + 1][0]):
+                        prefetch = (nbuf,
+                                    self._submit_loads(order[idx + 1][1]))
                 with self.telemetry.span(
                     "group_pass", stage=si, group=gi,
                     path="cpu" if cpu_path else "device",
@@ -147,6 +153,9 @@ class ParallelStageScheduler(StageScheduler):
                        jobs: List[CodecJob], view: np.ndarray) -> None:
         cs = self.layout.chunk_size
         for slot, job in enumerate(jobs):
+            # The pool drops the retained input payload at collect time;
+            # grab the compressed size first for the ledger.
+            blob_nbytes = len(job.payload) if job.payload is not None else 0
             res = self.codec_pool.collect(job)
             arr = res.array
             if arr.shape[0] != cs:
@@ -155,17 +164,25 @@ class ParallelStageScheduler(StageScheduler):
                     f"amplitudes, expected {cs}"
                 )
             view[slot * cs:(slot + 1) * cs] = arr
+            # Collect order == serial load order, so the access trace is
+            # identical to serial execution regardless of prefetch timing.
+            self.telemetry.access.record(job.key, self._audit_si, "r")
             self.telemetry.record_stage(
                 self.timeline, Stage.DECOMPRESS, res.seconds,
                 chunk=gi, nbytes=cs * 16, chunk_id=job.key,
                 worker=res.worker_pid)
-            self.store.note_decompressed(arr.nbytes, res.seconds)
+            self.store.note_decompressed(
+                arr.nbytes, res.seconds, blob_nbytes=blob_nbytes,
+                worker=res.worker_pid)
 
     def _submit_stores(self, gi: int, members: Tuple[int, ...],
                        view: np.ndarray,
                        pending: List[Tuple[int, int, CodecJob]]) -> None:
         cs = self.layout.chunk_size
         for slot, chunk in enumerate(members):
+            # Submit order == serial store order (the trace's write point;
+            # the blob lands whenever the drain collects it).
+            self.telemetry.access.record(chunk, self._audit_si, "w")
             job = self.codec_pool.submit_compress(
                 chunk, view[slot * cs:(slot + 1) * cs])
             pending.append((gi, chunk, job))
@@ -179,8 +196,12 @@ class ParallelStageScheduler(StageScheduler):
                 remaining.append((gi, chunk, job))
                 continue
             res = self.codec_pool.collect(job)
-            self.store.put_blob(chunk, res.blob, seconds=res.seconds,
-                                data_nbytes=cs * 16)
+            # Drains run while a *later* group's pass is the ambient
+            # context; the blob belongs to the group that submitted it.
+            with self.telemetry.traffic.attributed(self._audit_si, gi):
+                self.store.put_blob(chunk, res.blob, seconds=res.seconds,
+                                    data_nbytes=cs * 16,
+                                    worker=res.worker_pid)
             self.telemetry.record_stage(
                 self.timeline, Stage.COMPRESS, res.seconds,
                 chunk=gi, nbytes=cs * 16, chunk_id=chunk,

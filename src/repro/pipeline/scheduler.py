@@ -212,6 +212,10 @@ class StageScheduler:
         self.cancel = cancel if cancel is not None else NULL_CANCEL
         self._stage_parity = 0
         self._stage_index = 0
+        #: the stage index currently executing — the attribution context
+        #: for the traffic ledger and the access recorder (store-level
+        #: hops don't know which stage drives them; this does)
+        self._audit_si = -1
         self.stats = SchedulerStats()
 
     def _executor_for(self, gi: int):
@@ -222,6 +226,7 @@ class StageScheduler:
     def run_stage(self, stage) -> None:
         si = self._stage_index
         self._stage_index += 1
+        self._audit_si = si
         tel = self.telemetry
         if isinstance(stage, PermutationStage):
             tel.emit("stage.start", index=si, kind="permutation")
@@ -246,6 +251,10 @@ class StageScheduler:
             tel.emit("stage.end", index=si, kind="gate")
         else:
             raise TypeError(f"unknown stage type {type(stage).__name__}")
+        # Traffic after this point (result queries, flushes between runs)
+        # is out-of-stage again.
+        tel.traffic.set_pass()
+        self._audit_si = -1
 
     def run(self, stages: Sequence[object]) -> None:
         log.debug("scheduler: running %d stages", len(stages))
@@ -256,8 +265,14 @@ class StageScheduler:
     # -- permutation stages ---------------------------------------------------------
 
     def _run_permutation(self, stage: PermutationStage) -> None:
-        with self.telemetry.stage_span(self.timeline, Stage.CPU_UPDATE,
-                                       kind="permutation"):
+        tel = self.telemetry
+        # Blob relabeling moves no bytes, but a cache in front of the store
+        # flushes here (write-back traffic lands on this stage), and chunk
+        # identities change — the access trace records it as a barrier.
+        tel.traffic.set_pass(self._audit_si)
+        tel.access.barrier(self._audit_si)
+        with tel.stage_span(self.timeline, Stage.CPU_UPDATE,
+                            kind="permutation"):
             self.store.permute(stage.perm)
         self.stats.permutation_stages += 1
         self.stats.gates_applied += len(stage.gates)
@@ -291,6 +306,7 @@ class StageScheduler:
         order = self._group_order(placement)
         for gi, members in order:
             self.cancel.raise_if_cancelled()
+            self.telemetry.traffic.set_pass(si, gi)
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
             ops = self._ops_for_group(stage, placement, members[0])
             with self.telemetry.span(
@@ -333,6 +349,7 @@ class StageScheduler:
         # group's decompress -> h2d -> kernel -> d2h -> compress pass.
         cs = self.layout.chunk_size
         for slot, chunk in enumerate(members):
+            self.telemetry.access.record(chunk, self._audit_si, "r")
             with self.telemetry.stage_span(self.timeline, Stage.DECOMPRESS,
                                            chunk=gi, nbytes=cs * 16,
                                            chunk_id=chunk):
@@ -341,6 +358,7 @@ class StageScheduler:
     def _store_group(self, gi: int, members: Tuple[int, ...], buf: np.ndarray) -> None:
         cs = self.layout.chunk_size
         for slot, chunk in enumerate(members):
+            self.telemetry.access.record(chunk, self._audit_si, "w")
             with self.telemetry.stage_span(self.timeline, Stage.COMPRESS,
                                            chunk=gi, nbytes=cs * 16,
                                            chunk_id=chunk):

@@ -287,6 +287,7 @@ class ServeManager:
             job.finished_at = time.time()
             if job.lease is not None:
                 self.arena.release_lease(job.lease)
+            self._rollup_traffic(job)
             self._flush_events(job)
             tel.emit("serve.job.end", job_id=job.id, state=job.state)
             with self._cv:
@@ -345,6 +346,19 @@ class ServeManager:
     def _count(self, name: str) -> None:
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(name).inc()
+
+    def _rollup_traffic(self, job: Job) -> None:
+        """Fold a finished job's byte ledger into the daemon's counters.
+
+        Each job runs on its own telemetry (per-job ledger); the daemon's
+        ``/metrics`` should still answer "how many bytes has this process
+        moved across each tier edge", so totals roll up here.
+        """
+        if not self.telemetry.enabled:
+            return
+        for edge, v in job.telemetry.traffic.totals().items():
+            self.telemetry.metrics.counter(
+                f"traffic.{edge}.bytes").inc(v["bytes"])
 
     def _refresh_gauges(self) -> None:
         if not self.telemetry.enabled:

@@ -60,10 +60,24 @@ from .progress import (
     StageProgress,
 )
 from .tracer import NullTracer, Span, Tracer
+from .traffic import (
+    NULL_ACCESS_RECORDER,
+    NULL_TRAFFIC_LEDGER,
+    ChunkAccessRecorder,
+    NullChunkAccessRecorder,
+    NullTrafficLedger,
+    TrafficLedger,
+)
 
 __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
+    "TrafficLedger",
+    "NullTrafficLedger",
+    "NULL_TRAFFIC_LEDGER",
+    "ChunkAccessRecorder",
+    "NullChunkAccessRecorder",
+    "NULL_ACCESS_RECORDER",
     "Tracer",
     "NullTracer",
     "Span",
@@ -130,7 +144,7 @@ class Telemetry:
     """Tracer + metrics + logger, threaded through the whole pipeline."""
 
     __slots__ = ("tracer", "metrics", "log", "enabled", "monitor", "bus",
-                 "progress")
+                 "progress", "traffic", "access")
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
@@ -150,11 +164,18 @@ class Telemetry:
                     clock=lambda: time.perf_counter() - epoch,
                     epoch_wall=self.tracer.epoch_wall)
             self.bus = bus
+            #: byte-exact tier-edge movement ledger, incremented at the
+            #: same hops the tracer wraps; feeds ``traffic.*`` counters
+            self.traffic = TrafficLedger(self.metrics)
         else:
             self.tracer = NullTracer()
             self.metrics = NullMetrics()
             self.bus = NULL_EVENT_BUS
+            self.traffic = NULL_TRAFFIC_LEDGER
         self.log = log
+        #: opt-in chunk access-sequence recorder (``run --mem-trace-out``,
+        #: ``repro memtrace`` / ``repro audit`` swap a live one in)
+        self.access = NULL_ACCESS_RECORDER
         #: the active run's ResourceMonitor; swapped in by MemQSim for the
         #: duration of a monitored run so the scheduler can take synchronous
         #: samples at interesting moments (device buffer live mid-group)

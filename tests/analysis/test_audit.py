@@ -1,0 +1,181 @@
+"""Tests for the plan-vs-actual audit: predictor exactness, failure modes."""
+
+import pytest
+
+from repro.analysis.audit import (
+    audit_run,
+    predict_access_schedule,
+    predict_traffic,
+)
+from repro.circuits import get_workload
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.memory import ChunkAccessRecorder, TrafficLedger
+from repro.telemetry import Telemetry
+
+
+class _CapturePlanCache:
+    plan = None
+
+    def lookup(self, key):
+        return None
+
+    def store(self, key, value):
+        self.plan = value
+
+
+def audited_run(n=8, chunk_qubits=4, serpentine=False, execution="serial",
+                device_mb=None, workers=2, workload="qft"):
+    """Run under the audit contract and return everything the audit needs."""
+    tel = Telemetry()
+    tel.access = ChunkAccessRecorder()
+    cap = _CapturePlanCache()
+    kw = {}
+    if device_mb is not None:
+        kw["device"] = DeviceSpec(memory_bytes=int(device_mb * (1 << 20)))
+    if execution == "parallel":
+        kw["workers"] = workers
+    cfg = MemQSimConfig(
+        chunk_qubits=chunk_qubits,
+        compressor="zlib",
+        cache_chunks=0,
+        cpu_offload_fraction=0.0,
+        execution=execution,
+        serpentine_groups=serpentine,
+        **kw,
+    )
+    res = MemQSim(cfg, telemetry=tel, plan_cache=cap).run(
+        get_workload(workload, n))
+    assert cap.plan is not None
+    _plan, cplan = cap.plan
+    return cplan.stages, res.store.layout, tel
+
+
+class TestPredictor:
+    @pytest.mark.parametrize("serpentine", [False, True])
+    @pytest.mark.parametrize("execution", ["serial", "parallel"])
+    def test_schedule_matches_recorded_trace(self, serpentine, execution):
+        stages, layout, tel = audited_run(
+            serpentine=serpentine, execution=execution)
+        predicted = predict_access_schedule(stages, layout, serpentine)
+        assert predicted == tel.access.trace()
+
+    def test_streaming_run_matches(self):
+        # tiny device memory forces multi-stage streaming with real reuse
+        stages, layout, tel = audited_run(
+            n=9, chunk_qubits=3, device_mb=0.002, serpentine=True)
+        predicted = predict_access_schedule(stages, layout, True)
+        assert len(predicted) > layout.num_chunks * 2  # several passes
+        assert predicted == tel.access.trace()
+
+    def test_permutation_stages_become_barriers(self):
+        stages, layout, tel = audited_run(n=9, chunk_qubits=3,
+                                          device_mb=0.002)
+        predicted = predict_access_schedule(stages, layout)
+        barriers = [(si, c, op) for si, c, op in predicted if op == "b"]
+        assert barriers, "streaming plan should include permutation stages"
+        assert all(c == -1 for _si, c, _op in barriers)
+        traffic = predict_traffic(stages, layout)
+        for si, _c, _op in barriers:
+            assert traffic[si] == {}
+
+    def test_traffic_prediction_shape(self):
+        stages, layout, _tel = audited_run()
+        traffic = predict_traffic(stages, layout)
+        stage_bytes = layout.num_chunks * layout.chunk_nbytes
+        gate_rows = [r for r in traffic.values() if r]
+        assert gate_rows
+        for row in gate_rows:
+            assert row == {
+                "codec.raw_out": stage_bytes,
+                "codec.raw_in": stage_bytes,
+                "arena.h2d": stage_bytes,
+                "arena.d2h": stage_bytes,
+            }
+
+    def test_unknown_stage_type_rejected(self):
+        _stages, layout, _tel = audited_run()
+        with pytest.raises(TypeError):
+            predict_access_schedule([object()], layout)
+
+
+class TestAuditRun:
+    def test_clean_run_passes(self):
+        stages, layout, tel = audited_run(n=9, chunk_qubits=3,
+                                          device_mb=0.002, serpentine=True)
+        rep = audit_run(stages, layout, tel.access.trace(), tel.traffic,
+                        serpentine=True)
+        assert rep.ok, rep.render()
+        assert rep.schedule_ok and rep.traffic_ok and rep.envelope_ok
+        assert rep.first_divergence is None
+        assert "PASS" in rep.render()
+
+    def test_perturbed_trace_fails_with_divergence(self):
+        stages, layout, tel = audited_run()
+        trace = tel.access.trace()
+        trace[0], trace[-1] = trace[-1], trace[0]
+        rep = audit_run(stages, layout, trace, tel.traffic)
+        assert not rep.ok
+        assert not rep.schedule_ok
+        assert rep.first_divergence is not None
+        assert rep.first_divergence[0] == 0
+        assert "FAIL" in rep.render()
+
+    def test_truncated_trace_fails_on_length(self):
+        stages, layout, tel = audited_run()
+        trace = tel.access.trace()[:-1]
+        rep = audit_run(stages, layout, trace, tel.traffic)
+        assert not rep.schedule_ok
+        assert rep.first_divergence[0] == len(trace)
+
+    def test_inflated_ledger_fails_traffic(self):
+        stages, layout, tel = audited_run()
+        # phantom load the plan does not explain
+        with tel.traffic.attributed(0, 0):
+            tel.traffic.record("arena", "h2d", 1)
+        rep = audit_run(stages, layout, tel.access.trace(), tel.traffic)
+        assert not rep.traffic_ok
+        assert any("arena.h2d" in e for e in rep.errors)
+
+    def test_traffic_on_unplanned_stage_fails(self):
+        stages, layout, tel = audited_run()
+        with tel.traffic.attributed(len(stages) + 5, 0):
+            tel.traffic.record("disk", "write", 10)
+        rep = audit_run(stages, layout, tel.access.trace(), tel.traffic)
+        assert not rep.traffic_ok
+        assert any("unplanned stage" in e for e in rep.errors)
+
+    def test_envelope_violation_fails(self):
+        stages, layout, tel = audited_run()
+        # blow the compressed side far past slack * raw
+        raw = tel.traffic.total_bytes("codec", "raw_in")
+        with tel.traffic.attributed(0, 0):
+            tel.traffic.record("codec", "compressed_out", 2 * raw)
+        rep = audit_run(stages, layout, tel.access.trace(), tel.traffic)
+        assert not rep.envelope_ok
+        assert any("envelope" in e for e in rep.errors)
+
+    def test_missing_compressed_bytes_fails(self):
+        stages, layout, tel = audited_run()
+        led = TrafficLedger()
+        # replay only the raw side of the codec into a fresh ledger
+        for si, row in tel.traffic.by_stage().items():
+            for key, nbytes in row.items():
+                if "compressed" in key:
+                    continue
+                edge, direction = key.split(".")
+                with led.attributed(si, 0):
+                    led.record(edge, direction, nbytes)
+        rep = audit_run(stages, layout, tel.access.trace(), led)
+        assert not rep.envelope_ok
+        assert any("no compressed bytes" in e for e in rep.errors)
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        stages, layout, tel = audited_run()
+        rep = audit_run(stages, layout, tel.access.trace(), tel.traffic)
+        doc = json.loads(json.dumps(rep.to_dict()))
+        assert doc["ok"] is True
+        assert doc["schedule_predicted"] == doc["schedule_measured"]
+        assert doc["stages"]

@@ -1,0 +1,190 @@
+"""Tests for the access-trace analysis: reuse distance, LRU, Belady."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.memtrace import (
+    analyze_trace,
+    belady_misses,
+    hit_rate_curve,
+    reuse_distance_histogram,
+    reuse_distances,
+    simulate_lru,
+)
+from repro.circuits import get_workload
+from repro.core import MemQSim, MemQSimConfig
+from repro.device import DeviceSpec
+from repro.telemetry import Telemetry
+from repro.memory import ChunkAccessRecorder
+
+
+def R(chunk, stage=0):
+    return (stage, chunk, "r")
+
+
+def W(chunk, stage=0):
+    return (stage, chunk, "w")
+
+
+BARRIER = (1, -1, "b")
+
+
+class TestReuseDistances:
+    def test_cold_then_reuse(self):
+        trace = [R(0), R(1), R(0)]
+        # 0 cold, 1 cold, 0 reused with one distinct other chunk between
+        assert reuse_distances(trace) == [None, None, 1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([R(5), R(5)]) == [None, 0]
+
+    def test_duplicates_between_count_once(self):
+        trace = [R(0), R(1), R(1), R(1), R(0)]
+        assert reuse_distances(trace) == [None, None, 0, 0, 1]
+
+    def test_barrier_resets_history(self):
+        trace = [R(0), BARRIER, R(0)]
+        assert reuse_distances(trace) == [None, None]
+
+    def test_writes_participate_in_stack(self):
+        trace = [W(0), R(0)]
+        assert reuse_distances(trace) == [None, 0]
+
+    def test_bad_op_raises(self):
+        with pytest.raises(ValueError):
+            reuse_distances([(0, 0, "x")])
+
+    def test_histogram(self):
+        trace = [R(0), R(1), R(0), R(1)]
+        assert reuse_distance_histogram(trace) == {"cold": 2, "1": 2}
+
+
+class TestHitRateCurve:
+    def test_hand_trace(self):
+        # distances of reads: None, None, 1, 1
+        trace = [R(0), R(1), R(0), R(1)]
+        caps, rates = hit_rate_curve(trace)
+        assert caps == [1, 2]
+        # C=1: only d==0 hits -> 0/4. C=2: d<=1 hits -> 2/4.
+        assert rates == [0.0, 0.5]
+
+    def test_curve_is_monotone_and_matches_simulation(self):
+        # pseudo-random but deterministic trace over 6 chunks
+        seq = [0, 1, 2, 3, 0, 1, 4, 5, 2, 0, 3, 1, 5, 4, 0, 2]
+        trace = [R(c) for c in seq]
+        caps, rates = hit_rate_curve(trace)
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+        reads = len(seq)
+        for cap, rate in zip(caps, rates):
+            hits, misses = simulate_lru(trace, cap)
+            assert hits + misses == reads
+            assert rate == pytest.approx(hits / reads)
+
+    def test_empty_trace(self):
+        caps, rates = hit_rate_curve([])
+        assert caps == [1]
+        assert rates == [0.0]
+
+
+class TestSimulateLru:
+    def test_capacity_one(self):
+        trace = [R(0), R(0), R(1), R(0)]
+        assert simulate_lru(trace, 1) == (1, 3)
+
+    def test_writes_insert_but_do_not_count(self):
+        # write makes chunk 0 resident; the read then hits, and the
+        # (hits + misses) tally only ever covers reads
+        trace = [W(0), R(0)]
+        assert simulate_lru(trace, 2) == (1, 0)
+
+    def test_barrier_flushes(self):
+        trace = [R(0), BARRIER, R(0)]
+        assert simulate_lru(trace, 4) == (0, 2)
+
+    def test_lru_eviction_order(self):
+        # with C=2: 0,1 resident; touching 0 makes 1 the LRU victim for 2
+        trace = [R(0), R(1), R(0), R(2), R(0)]
+        hits, misses = simulate_lru(trace, 2)
+        assert (hits, misses) == (2, 3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            simulate_lru([], 0)
+
+
+class TestBelady:
+    def test_belady_beats_lru_on_classic_pattern(self):
+        # cyclic scan of 3 chunks with capacity 2: LRU misses everything,
+        # MIN keeps one chunk pinned
+        trace = [R(c) for c in [0, 1, 2] * 4]
+        _h, lru = simulate_lru(trace, 2)
+        opt = belady_misses(trace, 2)
+        assert lru == 12
+        assert opt < lru
+
+    def test_belady_never_exceeds_lru(self):
+        seqs = itertools.product(range(4), repeat=6)
+        for i, seq in enumerate(seqs):
+            if i % 7:  # keep runtime modest but coverage broad
+                continue
+            trace = [R(c) for c in seq]
+            for cap in (1, 2, 3):
+                _h, lru = simulate_lru(trace, cap)
+                assert belady_misses(trace, cap) <= lru
+
+    def test_barrier_bounds_lookahead(self):
+        # Next use of chunk 0 is across the barrier; Belady must not use
+        # it to justify keeping 0 resident (and must still flush).
+        trace = [R(0), R(1), R(2), BARRIER, R(0)]
+        assert belady_misses(trace, 2) == 4
+
+    def test_writes_make_resident_without_counting(self):
+        trace = [W(0), R(0), R(1), R(0)]
+        assert belady_misses(trace, 2) == 1  # only chunk 1's read misses
+
+
+class TestAnalyzeTrace:
+    def test_report_fields(self):
+        trace = [R(0), W(0), R(1), BARRIER, R(0)]
+        rep = analyze_trace(trace, capacity=2)
+        assert rep.accesses == 4
+        assert rep.reads == 3
+        assert rep.writes == 1
+        assert rep.barriers == 1
+        assert rep.distinct_chunks == 2
+        assert rep.lru_hits + rep.lru_misses == rep.reads
+        assert rep.belady_misses <= rep.lru_misses
+        doc = rep.to_dict()
+        assert doc["gap"] == rep.lru_misses - rep.belady_misses
+        assert "hit_rate_curve" in doc
+        assert "C=" in rep.render()
+
+    def test_measured_misses_drive_the_gap(self):
+        trace = [R(0), R(1), R(0)]
+        rep = analyze_trace(trace, capacity=1, measured_lru_misses=5)
+        assert rep.gap == 5 - rep.belady_misses
+
+
+class TestAgainstLiveCache:
+    def test_simulated_lru_matches_live_cache(self):
+        """The offline LRU replay must equal the live cache's miss count."""
+        tel = Telemetry()
+        tel.access = ChunkAccessRecorder()
+        cfg = MemQSimConfig(
+            chunk_qubits=3,
+            compressor="zlib",
+            cache_chunks=4,
+            cache_policy="lru",
+            execution="serial",
+            device=DeviceSpec(memory_bytes=int(0.002 * (1 << 20))),
+        )
+        res = MemQSim(cfg, telemetry=tel).run(get_workload("qft", 8))
+        stats = getattr(res.store, "cache_stats", None)
+        assert stats is not None
+        trace = tel.access.trace()
+        assert len(trace) > 0
+        hits, misses = simulate_lru(trace, 4)
+        assert misses == stats.misses
+        assert hits == stats.hits
+        assert belady_misses(trace, 4) <= misses
