@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "LV1": ("bench_live_overhead", "fast"),
     "SV1": ("bench_serve", "fast"),
     "MT1": ("bench_memtrace", "fast"),
+    "MH1": ("bench_hierarchy", "fast"),
 }
 
 

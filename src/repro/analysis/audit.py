@@ -32,6 +32,7 @@ from ..memory.layout import ChunkLayout
 from ..pipeline.stages import GateStage, PermutationStage
 
 __all__ = [
+    "predict_pass_schedule",
     "predict_access_schedule",
     "predict_traffic",
     "AuditReport",
@@ -47,6 +48,46 @@ def _is_gate_stage(stage: Any) -> bool:
     return isinstance(stage, (GateStage, CompiledGateStage))
 
 
+def predict_pass_schedule(
+    stages: Sequence[Any],
+    layout: ChunkLayout,
+    serpentine: bool = False,
+) -> List[Tuple[str, int, int, Tuple[int, ...]]]:
+    """The exact group-pass sequence a run of ``stages`` will execute.
+
+    Mirrors the scheduler's sweep: per gate stage, enumerate the layout's
+    chunk groups in serpentine-aware order (parity flips on gate stages
+    only — permutations don't consume a sweep). Returns a flat list of
+
+    * ``("pass", stage_index, group_id, members)`` — one group pass, and
+    * ``("barrier", stage_index, -1, ())`` — one permutation stage.
+
+    Group ids are the placement's original enumeration indices, exactly
+    the ids the scheduler attributes traffic to — so ``(stage, group)``
+    keys from this schedule line up with the live run's pass keys. This
+    is the source of truth for the plan-driven memory hierarchy
+    (:mod:`repro.memory.hierarchy`): the access-level schedule below and
+    the parallel engine's cross-stage prefetch queue both derive from it.
+    """
+    passes: List[Tuple[str, int, int, Tuple[int, ...]]] = []
+    parity = 0
+    for si, stage in enumerate(stages):
+        if isinstance(stage, PermutationStage):
+            passes.append(("barrier", si, -1, ()))
+            continue
+        if not _is_gate_stage(stage):
+            raise TypeError(f"unknown stage type {type(stage).__name__}")
+        placement = layout.chunk_groups(stage.group_qubits)
+        order = list(enumerate(placement.groups))
+        if serpentine:
+            parity ^= 1
+            if parity == 0:
+                order.reverse()
+        for gi, members in order:
+            passes.append(("pass", si, gi, tuple(members)))
+    return passes
+
+
 def predict_access_schedule(
     stages: Sequence[Any],
     layout: ChunkLayout,
@@ -54,30 +95,20 @@ def predict_access_schedule(
 ) -> List[Tuple[int, int, str]]:
     """The exact access trace a run of ``stages`` will record.
 
-    Mirrors the scheduler: per gate stage, sweep the layout's chunk groups
-    (serpentine parity flips on gate stages only — permutations don't
-    consume a sweep), reading then writing each group's members in order.
-    Permutation stages contribute one barrier marker.
+    Derived from :func:`predict_pass_schedule`: each group pass reads then
+    writes its members in order; permutation stages contribute one barrier
+    marker.
     """
     trace: List[Tuple[int, int, str]] = []
-    parity = 0
-    for si, stage in enumerate(stages):
-        if isinstance(stage, PermutationStage):
+    for kind, si, _gi, members in predict_pass_schedule(
+            stages, layout, serpentine):
+        if kind == "barrier":
             trace.append((si, -1, "b"))
             continue
-        if not _is_gate_stage(stage):
-            raise TypeError(f"unknown stage type {type(stage).__name__}")
-        placement = layout.chunk_groups(stage.group_qubits)
-        order = list(placement.groups)
-        if serpentine:
-            parity ^= 1
-            if parity == 0:
-                order.reverse()
-        for members in order:
-            for chunk in members:
-                trace.append((si, chunk, "r"))
-            for chunk in members:
-                trace.append((si, chunk, "w"))
+        for chunk in members:
+            trace.append((si, chunk, "r"))
+        for chunk in members:
+            trace.append((si, chunk, "w"))
     return trace
 
 

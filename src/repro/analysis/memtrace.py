@@ -17,8 +17,10 @@ recency; barriers empty the cache.
 * :func:`hit_rate_curve` — the stack-distance what-if: read hit rate as a
   function of cache capacity, for *every* capacity, from one pass over
   the trace (the inclusion property makes the curve exact, not sampled).
-* :func:`simulate_lru` — direct LRU simulation (cross-check + the
-  capacity actually configured).
+* :func:`simulate_cache` — direct simulation of any live eviction policy
+  (``lru`` | ``mru`` | ``belady``), miss-for-miss identical to the
+  corresponding ``ChunkCache`` configuration; :func:`simulate_lru` is the
+  LRU shorthand (cross-check + the capacity actually configured).
 * :func:`belady_misses` — the Belady/MIN optimal miss count: evict the
   resident chunk whose next use is farthest in the future. Since the
   :class:`~repro.compile.CompiledPlan` fixes the whole schedule before
@@ -36,6 +38,7 @@ __all__ = [
     "reuse_distances",
     "reuse_distance_histogram",
     "hit_rate_curve",
+    "simulate_cache",
     "simulate_lru",
     "belady_misses",
     "MemTraceReport",
@@ -130,17 +133,28 @@ def hit_rate_curve(
     return capacities, rates
 
 
-def simulate_lru(
+def simulate_cache(
     trace: Sequence[Tuple[int, int, str]],
     capacity: int,
+    policy: str = "lru",
 ) -> Tuple[int, int]:
-    """Direct LRU simulation; returns ``(read hits, read misses)``.
+    """Direct cache simulation; returns ``(read hits, read misses)``.
 
-    Matches the live ``ChunkCache(policy="lru")``: writes insert/touch
-    without counting, barriers flush.
+    Matches the live ``ChunkCache(policy=...)`` miss-for-miss: reads hit
+    or miss, writes insert/touch without counting, both update recency,
+    barriers flush. ``policy`` is ``"lru"`` (evict least recent),
+    ``"mru"`` (evict most recent — right for cyclic sweeps), or
+    ``"belady"`` (farthest next use over the trace itself — what the live
+    cache achieves when fed the plan's access schedule).
     """
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
+    if policy == "belady":
+        reads = sum(1 for _s, _c, op in _accesses(trace) if op == "r")
+        misses = belady_misses(trace, capacity)
+        return reads - misses, misses
+    if policy not in ("lru", "mru"):
+        raise ValueError(f"policy must be lru|mru|belady, got {policy!r}")
     resident: Dict[int, None] = {}  # insertion order = recency
     hits = misses = 0
     for _stage, chunk, op in _accesses(trace):
@@ -156,9 +170,19 @@ def simulate_lru(
         if op == "r":
             misses += 1
         while len(resident) >= capacity:
-            resident.pop(next(iter(resident)))
+            victim = next(iter(resident)) if policy == "lru" \
+                else next(reversed(resident))
+            resident.pop(victim)
         resident[chunk] = None
     return hits, misses
+
+
+def simulate_lru(
+    trace: Sequence[Tuple[int, int, str]],
+    capacity: int,
+) -> Tuple[int, int]:
+    """LRU shorthand for :func:`simulate_cache`."""
+    return simulate_cache(trace, capacity, "lru")
 
 
 def belady_misses(
@@ -223,6 +247,12 @@ class MemTraceReport:
     belady_misses: int
     #: read misses the live ChunkCache actually took (when available)
     measured_lru_misses: Optional[int] = None
+    #: the what-if policy this report was asked to replay ("lru" default)
+    policy: str = "lru"
+    policy_hits: Optional[int] = None
+    policy_misses: Optional[int] = None
+    #: live misses under ``policy`` (== measured_lru_misses when "lru")
+    measured_misses: Optional[int] = None
 
     @property
     def gap(self) -> int:
@@ -254,6 +284,10 @@ class MemTraceReport:
             "lru_misses": self.lru_misses,
             "belady_misses": self.belady_misses,
             "measured_lru_misses": self.measured_lru_misses,
+            "policy": self.policy,
+            "policy_hits": self.policy_hits,
+            "policy_misses": self.policy_misses,
+            "measured_misses": self.measured_misses,
             "gap": self.gap,
             "gap_fraction": self.gap_fraction,
         }
@@ -269,6 +303,14 @@ class MemTraceReport:
         if self.measured_lru_misses is not None:
             lines.append(
                 f"    LRU misses (measured)    {self.measured_lru_misses:>8}")
+        if self.policy != "lru" and self.policy_misses is not None:
+            lines.append(
+                f"    {self.policy.upper()} misses (simulated)   "
+                f"{self.policy_misses:>8}")
+            if self.measured_misses is not None:
+                lines.append(
+                    f"    {self.policy.upper()} misses (measured)    "
+                    f"{self.measured_misses:>8}")
         lines += [
             f"    Belady-optimal misses    {self.belady_misses:>8}  "
             f"(lower bound)",
@@ -291,14 +333,29 @@ def analyze_trace(
     trace: Sequence[Tuple[int, int, str]],
     capacity: int,
     measured_lru_misses: Optional[int] = None,
+    policy: str = "lru",
+    measured_misses: Optional[int] = None,
 ) -> MemTraceReport:
-    """Run the full analysis suite over one recorded trace."""
+    """Run the full analysis suite over one recorded trace.
+
+    ``policy`` selects the what-if replay (``lru``/``mru``/``belady``);
+    the LRU and Belady baselines are always computed so the report's gap
+    stays meaningful. ``measured_misses`` is the live miss count under
+    that policy (``measured_lru_misses`` keeps its historical meaning and
+    is filled from it when the policy is LRU).
+    """
     reads = sum(1 for _s, _c, op in _accesses(trace) if op == "r")
     writes = sum(1 for _s, _c, op in _accesses(trace) if op == "w")
     barriers = sum(1 for _s, _c, op in _accesses(trace) if op == "b")
     chunks = {c for _s, c, op in _accesses(trace) if op != "b"}
     caps, rates = hit_rate_curve(trace)
     hits, misses = simulate_lru(trace, capacity)
+    p_hits, p_misses = simulate_cache(trace, capacity, policy)
+    if policy == "lru":
+        if measured_misses is None:
+            measured_misses = measured_lru_misses
+        elif measured_lru_misses is None:
+            measured_lru_misses = measured_misses
     return MemTraceReport(
         accesses=reads + writes,
         reads=reads,
@@ -313,4 +370,8 @@ def analyze_trace(
         lru_misses=misses,
         belady_misses=belady_misses(trace, capacity),
         measured_lru_misses=measured_lru_misses,
+        policy=policy,
+        policy_hits=p_hits,
+        policy_misses=p_misses,
+        measured_misses=measured_misses,
     )

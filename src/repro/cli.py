@@ -94,7 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fusion_args(runp)
     runp.add_argument("--cache-chunks", type=int, default=0,
                       help="decompressed-chunk cache capacity (0 = off)")
-    runp.add_argument("--cache-policy", default="mru", choices=["lru", "mru"])
+    runp.add_argument("--cache-policy", default="mru",
+                      choices=["lru", "mru", "belady"],
+                      help="eviction policy; belady evicts by the compiled "
+                           "plan's farthest next use")
+    runp.add_argument("--store", default="memory",
+                      choices=["memory", "disk", "tiered"],
+                      help="compressed-blob tier: all-RAM, all-disk, or "
+                           "RAM-under-budget with plan-coldest spill")
+    runp.add_argument("--disk-path", metavar="FILE",
+                      help="append-log path for disk/tiered stores "
+                           "(default: a temp file)")
+    runp.add_argument("--host-store-mb", type=float, default=0.0,
+                      help="RAM budget (MiB) for compressed blobs; > 0 "
+                           "upgrades the memory store to tiered")
     runp.add_argument("--devices", type=int, default=1,
                       help="simulated device count")
     _add_parallel_args(runp)
@@ -182,13 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
     mtp.add_argument("--error-bound", type=float, default=1e-6)
     mtp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
     mtp.add_argument("--cache-chunks", type=int, default=4, metavar="C",
-                     help="LRU chunk-cache capacity to run with (the "
+                     help="chunk-cache capacity to run with (the "
                           "analysis then sweeps every capacity)")
     mtp.add_argument("--device-mb", type=float, default=256.0,
                      help="device arena size; small values force "
                           "multi-stage streaming (more chunk reuse)")
     mtp.add_argument("--serpentine", action=argparse.BooleanOptionalAction,
                      default=True)
+    mtp.add_argument("--policy", default="lru",
+                     choices=["lru", "mru", "belady"],
+                     help="eviction policy to run live and replay offline "
+                          "(the live cache must match miss-for-miss)")
     mtp.add_argument("--trace-in", metavar="FILE",
                      help="analyze a trace recorded earlier with "
                           "`run --mem-trace-out` instead of running")
@@ -208,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
     audp.add_argument("--device-mb", type=float, default=256.0,
                       help="device arena size; small values force "
                            "multi-stage streaming")
+    audp.add_argument("--host-store-mb", type=float, default=0.0,
+                      help="audit against the tiered store with this RAM "
+                           "blob budget (0 = plain memory store)")
     audp.add_argument("--serpentine", action=argparse.BooleanOptionalAction,
                       default=True)
     audp.add_argument("--ratio-slack", type=float, default=1.25,
@@ -440,6 +460,19 @@ def _export_telemetry(tel: Telemetry, args) -> None:
         print(f"access trace written: {args.mem_trace_out} ({n} accesses)")
 
 
+def _validate_cache_chunks(value: int, minimum: int = 0) -> int:
+    """The one cache-capacity validator every command shares.
+
+    ``minimum`` is 0 where the cache is optional (``run``/``trace``) and
+    1 where the command is meaningless without one (``memtrace``); the
+    error text is identical either way — no silent clamping.
+    """
+    if value < minimum:
+        raise SystemExit(
+            f"--cache-chunks must be >= {minimum}, got {value}")
+    return value
+
+
 def _cmd_run(args) -> int:
     circuit = _load_circuit(args)
     tel = _telemetry_from_args(args)
@@ -459,8 +492,11 @@ def _cmd_run(args) -> int:
         cpu_offload_fraction=args.offload,
         fuse_gates=_fusion_enabled(args),
         max_fuse_qubits=args.max_fuse_qubits,
-        cache_chunks=args.cache_chunks,
+        cache_chunks=_validate_cache_chunks(args.cache_chunks),
         cache_policy=args.cache_policy,
+        store=args.store,
+        disk_path=args.disk_path,
+        host_store_mb=args.host_store_mb,
         num_devices=args.devices,
         workers=args.workers,
         execution=args.execution,
@@ -622,7 +658,7 @@ def _cmd_trace(args) -> int:
         cpu_offload_fraction=args.offload,
         fuse_gates=_fusion_enabled(args),
         max_fuse_qubits=args.max_fuse_qubits,
-        cache_chunks=args.cache_chunks,
+        cache_chunks=_validate_cache_chunks(args.cache_chunks),
         workers=args.workers,
         execution=args.execution,
         serpentine_groups=args.serpentine,
@@ -660,7 +696,7 @@ def _cmd_report(args) -> int:
         transfer=args.transfer,
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
         cpu_offload_fraction=args.offload,
-        cache_chunks=args.cache_chunks,
+        cache_chunks=_validate_cache_chunks(args.cache_chunks),
         workers=args.workers,
         execution=args.execution,
         serpentine_groups=args.serpentine,
@@ -686,15 +722,12 @@ def _cmd_memtrace(args) -> int:
     from .telemetry import ChunkAccessRecorder
 
     measured = None
+    capacity = _validate_cache_chunks(args.cache_chunks, minimum=1)
     if args.trace_in:
         trace = ChunkAccessRecorder.read_jsonl(args.trace_in)
         if not trace:
             raise SystemExit(f"memtrace: {args.trace_in} holds no accesses")
-        capacity = max(1, args.cache_chunks)
     else:
-        if args.cache_chunks < 1:
-            raise SystemExit("memtrace: --cache-chunks must be >= 1")
-        capacity = args.cache_chunks
         tel = Telemetry()
         rec = ChunkAccessRecorder()
         tel.access = rec
@@ -707,7 +740,7 @@ def _cmd_memtrace(args) -> int:
             compressor_options=opts,
             device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
             cache_chunks=capacity,
-            cache_policy="lru",  # the policy the analysis simulates
+            cache_policy=args.policy,  # the policy the analysis replays
             execution="serial",
             serpentine_groups=args.serpentine,
         )
@@ -717,7 +750,14 @@ def _cmd_memtrace(args) -> int:
         stats = getattr(res.store, "cache_stats", None)
         if stats is not None:
             measured = stats.misses
-    report = analyze_trace(trace, capacity, measured_lru_misses=measured)
+    report = analyze_trace(trace, capacity, policy=args.policy,
+                           measured_misses=measured)
+    if measured is not None and measured != report.policy_misses:
+        # The offline replay IS the live cache's contract; a divergence
+        # means one of them drifted — fail loudly, never fudge.
+        raise SystemExit(
+            f"memtrace: live {args.policy} cache took {measured} misses "
+            f"but the trace replay computed {report.policy_misses}")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -761,6 +801,7 @@ def _cmd_audit(args) -> int:
         cpu_offload_fraction=0.0,
         execution="serial",
         serpentine_groups=args.serpentine,
+        host_store_mb=args.host_store_mb,
     )
     res = MemQSim(cfg, telemetry=tel, plan_cache=cap).run(
         get_workload(args.workload, args.qubits))

@@ -50,14 +50,24 @@ class MemQSimConfig:
         cache_chunks: if > 0, keep this many decompressed chunks resident
             in a write-back cache (design challenge 3 — data locality);
             hits skip the codec entirely.
-        cache_policy: eviction policy, ``"mru"`` (right for cyclic sweeps)
-            or ``"lru"``.
+        cache_policy: eviction policy — ``"mru"`` (right for cyclic
+            sweeps), ``"lru"``, or ``"belady"`` (plan-optimal: evict the
+            chunk whose next use in the compiled schedule is farthest
+            away; falls back to MRU for off-schedule accesses).
         serpentine_groups: alternate the group sweep direction per stage
             (boustrophedon) so the chunk cache keeps hitting across stage
             boundaries; free when no cache is configured.
-        store: ``"memory"`` (default) or ``"disk"`` — out-of-core blobs in
-            an append log (RAM cost: the chunk index only).
-        disk_path: log file for the disk store (default: a temp file).
+        store: ``"memory"`` (default), ``"disk"`` — out-of-core blobs in
+            an append log (RAM cost: the chunk index only) — or
+            ``"tiered"`` — hot compressed blobs in RAM under the
+            ``host_store_mb`` budget, plan-coldest blobs spilled to the
+            append log. ``"memory"`` auto-upgrades to ``"tiered"`` when
+            ``host_store_mb`` > 0.
+        disk_path: log file for the disk/tiered store (default: a temp
+            file).
+        host_store_mb: RAM budget (MiB) for compressed blobs in the
+            tiered store; <= 0 means unbounded (nothing spills until the
+            budget is set).
         workers: codec worker processes. ``1`` (default) = the serial code
             path, unchanged; ``>1`` = fan chunk compress/decompress out to
             a process pool; ``0`` = auto (empirical probe: spare cores and
@@ -97,6 +107,7 @@ class MemQSimConfig:
     serpentine_groups: bool = True
     store: str = "memory"
     disk_path: Optional[str] = None
+    host_store_mb: float = 0.0
     workers: int = 1
     execution: str = "auto"
     shm_threshold_bytes: int = 1 << 20
@@ -104,6 +115,17 @@ class MemQSimConfig:
 
     def make_compressor(self) -> Compressor:
         return get_compressor(self.compressor, **self.compressor_options)
+
+    def resolve_store(self) -> str:
+        """The effective store kind: ``memory`` | ``disk`` | ``tiered``.
+
+        A positive ``host_store_mb`` upgrades the default in-memory store
+        to the tiered store (explicit ``store="disk"`` is left alone — it
+        already holds every blob out of core).
+        """
+        if self.store == "memory" and self.host_store_mb > 0:
+            return "tiered"
+        return self.store
 
     def resolve_workers(self, chunk_size: int = 0) -> int:
         """The effective codec worker count (``workers=0`` probes)."""

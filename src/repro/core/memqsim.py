@@ -288,14 +288,18 @@ class MemQSim:
                 tracker=tracker, backend=backend, telemetry=tel,
                 arena=self.arena,
             ))
-        store_like = store
-        if cfg.cache_chunks:
-            from ..memory.cache import ChunkCache
+        from ..memory.hierarchy import MemoryHierarchy
 
-            store_like = ChunkCache(
-                store, cfg.cache_chunks, cfg.cache_policy, tracker,
-                telemetry=tel,
-            )
+        hierarchy = MemoryHierarchy.build(
+            store, cache_chunks=cfg.cache_chunks,
+            cache_policy=cfg.cache_policy, tracker=tracker, telemetry=tel,
+        )
+        # Belady eviction and plan-aware spilling both consume the same
+        # predicted access schedule; the scheduler advances its cursor at
+        # every group pass and permutation barrier.
+        schedule = hierarchy.attach_plan(
+            cplan.stages, layout, serpentine=cfg.serpentine_groups)
+        store_like = hierarchy.store_like
         pool = BufferPool(cfg.num_buffers, buffer_amps, tracker, telemetry=tel)
         if cfg.execution not in ("serial", "parallel", "auto"):
             raise ValueError(
@@ -318,6 +322,7 @@ class MemQSim:
             backend=backend,
             max_fuse_qubits=cfg.max_fuse_qubits,
             cancel=self.cancel,
+            schedule=schedule,
         )
         codec_pool = None
         owns_codec_pool = False
@@ -386,11 +391,14 @@ class MemQSim:
             "cpu_offload_fraction": cfg.cpu_offload_fraction,
             "num_devices": cfg.num_devices,
             "cache_chunks": cfg.cache_chunks,
+            "cache_policy": cfg.cache_policy,
             "serpentine": cfg.serpentine_groups,
             "fuse_gates": cfg.fuse_gates,
             "fusion": cfg.fuse_gates,
             "max_fuse_qubits": cfg.max_fuse_qubits,
-            "store": cfg.store,
+            "store": cfg.resolve_store(),
+            "host_store_mb": cfg.host_store_mb,
+            "hierarchy": hierarchy.describe(),
             "workers": workers if use_parallel else 1,
             "execution": "parallel" if use_parallel else "serial",
         }
@@ -414,22 +422,28 @@ class MemQSim:
     def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):
         cfg = self.config
         tel = self.telemetry
-        if cfg.store == "memory":
+        kind = cfg.resolve_store()
+        if kind == "memory":
             return CompressedChunkStore(layout, cfg.make_compressor(), tracker,
                                         telemetry=tel)
-        if cfg.store == "disk":
-            import tempfile
-
-            from ..memory.diskstore import DiskChunkStore
-
+        if kind in ("disk", "tiered"):
             path = cfg.disk_path
             if path is None:
-                fd, path = tempfile.mkstemp(prefix="memqsim_", suffix=".log")
                 import os
+                import tempfile
 
+                fd, path = tempfile.mkstemp(prefix="memqsim_", suffix=".log")
                 os.close(fd)
-            return DiskChunkStore(layout, cfg.make_compressor(), path, tracker,
-                                  telemetry=tel)
+            if kind == "disk":
+                from ..memory.diskstore import DiskChunkStore
+
+                return DiskChunkStore(layout, cfg.make_compressor(), path,
+                                      tracker, telemetry=tel)
+            from ..memory.hierarchy import TieredChunkStore
+
+            budget = int(cfg.host_store_mb * (1 << 20))
+            return TieredChunkStore(layout, cfg.make_compressor(), path,
+                                    budget, tracker=tracker, telemetry=tel)
         raise ValueError(f"unknown store kind {cfg.store!r}")
 
     def sample(self, circuit: Circuit, shots: int, seed: Optional[int] = None):

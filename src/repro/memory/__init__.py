@@ -2,9 +2,24 @@
 
 from .accounting import MemorySnapshot, MemoryTracker
 from .bufferpool import BufferPool
-from .cache import CacheStats, ChunkCache
+from .cache import (
+    CACHE_POLICIES,
+    BeladyPolicy,
+    CacheStats,
+    ChunkCache,
+    EvictionPolicy,
+    LruPolicy,
+    MruPolicy,
+    make_policy,
+)
 from .chunkstore import CompressedChunkStore, StoreStats
-from .diskstore import DiskChunkStore
+from .diskstore import BlobLog, DiskChunkStore
+from .hierarchy import (
+    AccessSchedule,
+    MemoryHierarchy,
+    TieredChunkStore,
+    TierStats,
+)
 from .layout import ChunkLayout, GroupPlacement
 from .persist import StoreFormatError, load_store, save_store
 from .traffic import (
@@ -22,10 +37,21 @@ __all__ = [
     "GroupPlacement",
     "CompressedChunkStore",
     "DiskChunkStore",
+    "BlobLog",
+    "TieredChunkStore",
+    "TierStats",
+    "AccessSchedule",
+    "MemoryHierarchy",
     "StoreStats",
     "BufferPool",
     "ChunkCache",
     "CacheStats",
+    "EvictionPolicy",
+    "LruPolicy",
+    "MruPolicy",
+    "BeladyPolicy",
+    "CACHE_POLICIES",
+    "make_policy",
     "MemoryTracker",
     "MemorySnapshot",
     "save_store",

@@ -9,10 +9,17 @@ number of *decompressed* chunks resident:
 * ``store`` marks the cached copy dirty and skips recompression until the
   chunk is evicted (**write-back**) — consecutive stages touching the same
   chunk pay the codec once, not per stage;
-* eviction policy is pluggable: classic ``lru``, or ``mru`` which is the
-  right answer for the cyclic full-sweep access pattern chunked simulation
-  generates (LRU evicts exactly the chunk that will be needed next; MRU
-  pins a stable subset).
+* eviction policy is pluggable (:class:`EvictionPolicy`): classic ``lru``;
+  ``mru``, the right heuristic for the cyclic full-sweep access pattern
+  chunked simulation generates (LRU evicts exactly the chunk that will be
+  needed next; MRU pins a stable subset); and ``belady``, the *optimal*
+  policy — evict the resident chunk with the farthest next use. Belady is
+  normally a thought experiment, but the
+  :class:`~repro.compile.CompiledPlan` fixes the entire access sequence
+  before execution, so here it is achievable: attach an
+  :class:`~repro.memory.hierarchy.AccessSchedule` and the cache replays
+  the plan's future exactly. Off-schedule accesses (ad-hoc loads in serve
+  jobs, result queries) fall back to MRU.
 
 The cache reports hits/misses/write-backs so the locality experiment (A7)
 can show hit rate and codec-time savings versus capacity and policy.
@@ -30,7 +37,16 @@ from ..telemetry import NULL_TELEMETRY, get_logger
 from .accounting import MemoryTracker
 from .chunkstore import CompressedChunkStore
 
-__all__ = ["ChunkCache", "CacheStats"]
+__all__ = [
+    "ChunkCache",
+    "CacheStats",
+    "EvictionPolicy",
+    "LruPolicy",
+    "MruPolicy",
+    "BeladyPolicy",
+    "CACHE_POLICIES",
+    "make_policy",
+]
 
 CATEGORY = "chunk_cache"
 
@@ -56,6 +72,117 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
+class EvictionPolicy:
+    """Victim selection for :class:`ChunkCache`.
+
+    ``entries`` passed to :meth:`victim` is the cache's ``OrderedDict``
+    (iteration order = recency, oldest first). Hooks are called on every
+    cache event so stateful policies (Belady) can track per-chunk
+    metadata.
+    """
+
+    name = "?"
+
+    def on_access(self, chunk: int, op: str) -> None:
+        """An access (``op`` = ``"r"``/``"w"``) is about to hit the cache."""
+
+    def victim(self, entries: "OrderedDict[int, list]") -> int:
+        raise NotImplementedError
+
+    def on_remove(self, chunk: int) -> None:
+        """``chunk`` left the cache (eviction, invalidation, zeroing)."""
+
+    def on_clear(self) -> None:
+        """The cache was flushed empty."""
+
+    def attach_schedule(self, schedule) -> None:
+        """Attach a plan-exact schedule; default policies ignore it."""
+
+
+class LruPolicy(EvictionPolicy):
+    name = "lru"
+
+    def victim(self, entries) -> int:
+        return next(iter(entries))
+
+
+class MruPolicy(EvictionPolicy):
+    """Evict the most recently used: pins a stable subset under cyclic
+    sweeps, the paper's default."""
+
+    name = "mru"
+
+    def victim(self, entries) -> int:
+        return next(reversed(entries))
+
+
+class BeladyPolicy(EvictionPolicy):
+    """Plan-driven Belady/MIN: evict the resident chunk whose next use is
+    farthest in the future.
+
+    Next-use positions come from an attached
+    :class:`~repro.memory.hierarchy.AccessSchedule`; every cache access is
+    matched against the schedule cursor (``observe``), which yields the
+    access's barrier-bounded next-use index. Chunks whose accesses fall
+    off-schedule (no schedule attached, ad-hoc loads) carry no next-use
+    and evict first, most-recent first — i.e. the policy degrades to
+    exact MRU, never worse than the previous default.
+    """
+
+    name = "belady"
+
+    def __init__(self, schedule=None):
+        self.schedule = schedule
+        # chunk -> barrier-bounded next-use position; None = off-schedule
+        self._next_use: dict = {}
+
+    def attach_schedule(self, schedule) -> None:
+        self.schedule = schedule
+
+    def on_access(self, chunk: int, op: str) -> None:
+        nu = self.schedule.observe(chunk, op) \
+            if self.schedule is not None else None
+        self._next_use[chunk] = nu
+
+    def victim(self, entries) -> int:
+        # First maximum in recency order; finite next-use positions are
+        # unique (they are schedule indices), so the only ties are at
+        # infinity — past the next barrier, where the flush erases any
+        # difference between choices. Off-schedule entries outrank even
+        # infinity and break ties MRU-wise (latest wins).
+        victim = None
+        victim_nu = -1.0
+        unknown = None
+        for chunk in entries:
+            nu = self._next_use.get(chunk)
+            if nu is None:
+                unknown = chunk
+            elif victim is None or nu > victim_nu:
+                victim, victim_nu = chunk, nu
+        return unknown if unknown is not None else victim
+
+    def on_remove(self, chunk: int) -> None:
+        self._next_use.pop(chunk, None)
+
+    def on_clear(self) -> None:
+        self._next_use.clear()
+
+
+CACHE_POLICIES = ("lru", "mru", "belady")
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (``lru``/``mru``/``belady``)."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "mru":
+        return MruPolicy()
+    if name == "belady":
+        return BeladyPolicy()
+    raise ValueError(
+        f"policy must be {'|'.join(CACHE_POLICIES)}, got {name!r}")
+
+
 class ChunkCache:
     """Bounded write-back cache over a compressed chunk store.
 
@@ -75,11 +202,11 @@ class ChunkCache:
     ):
         if capacity_chunks < 1:
             raise ValueError("capacity_chunks must be >= 1")
-        if policy not in ("lru", "mru"):
-            raise ValueError(f"policy must be lru|mru, got {policy!r}")
         self.inner = store
         self.capacity = int(capacity_chunks)
         self.policy = policy
+        self._policy = make_policy(policy)
+        self.dtype = np.dtype(getattr(store, "dtype", np.complex128))
         self.tracker = tracker if tracker is not None else store.tracker
         self.telemetry = telemetry if telemetry is not None else \
             getattr(store, "telemetry", NULL_TELEMETRY)
@@ -91,6 +218,10 @@ class ChunkCache:
 
     def __getattr__(self, name):
         return getattr(self.inner, name)
+
+    def attach_schedule(self, schedule) -> None:
+        """Feed the plan-exact access schedule to the eviction policy."""
+        self._policy.attach_schedule(schedule)
 
     # -- cache mechanics ------------------------------------------------------
 
@@ -106,17 +237,16 @@ class ChunkCache:
             return
         while len(self._entries) >= self.capacity:
             self._evict_one()
-        arr = np.array(data, dtype=np.complex128, copy=True)
+        arr = np.array(data, dtype=self.dtype, copy=True)
         self._entries[chunk] = [arr, dirty]
         self.tracker.alloc(CATEGORY, arr.nbytes)
 
     def _evict_one(self) -> None:
         if not self._entries:
             return
-        if self.policy == "lru":
-            chunk, entry = self._entries.popitem(last=False)
-        else:  # mru: evict the most recently used, keep the stable prefix
-            chunk, entry = self._entries.popitem(last=True)
+        chunk = self._policy.victim(self._entries)
+        entry = self._entries.pop(chunk)
+        self._policy.on_remove(chunk)
         arr, dirty = entry
         if dirty:
             self.inner.store(chunk, arr)
@@ -148,6 +278,7 @@ class ChunkCache:
         log.debug("cache flush: %d resident, %d written back",
                   len(self._entries), dirty_n)
         self._entries.clear()
+        self._policy.on_clear()
 
     @property
     def resident_chunks(self) -> int:
@@ -156,6 +287,7 @@ class ChunkCache:
     # -- store surface ------------------------------------------------------------
 
     def load(self, chunk: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        self._policy.on_access(chunk, "r")
         entry = self._entries.get(chunk)
         if entry is not None:
             self.cache_stats.hits += 1
@@ -185,6 +317,7 @@ class ChunkCache:
     def store(self, chunk: int, data: np.ndarray) -> None:
         if data.shape[0] != self.inner.layout.chunk_size:
             raise ValueError("buffer size mismatch")
+        self._policy.on_access(chunk, "w")
         if chunk in self._entries:
             self.cache_stats.write_hits += 1
         self._insert(chunk, data, dirty=True)
@@ -193,7 +326,7 @@ class ChunkCache:
         # Through the cache entry-by-entry so dirty copies stay coherent.
         cs = self.inner.layout.chunk_size
         if out is None:
-            out = np.empty(len(chunks) * cs, dtype=np.complex128)
+            out = np.empty(len(chunks) * cs, dtype=self.dtype)
         for i, c in enumerate(chunks):
             self.load(c, out=out[i * cs:(i + 1) * cs])
         return out
@@ -209,6 +342,7 @@ class ChunkCache:
         entry = self._entries.pop(chunk, None)
         if entry is not None:
             self.tracker.free(CATEGORY, entry[0].nbytes)
+            self._policy.on_remove(chunk)
         self.inner.zero_chunk(chunk)
 
     # -- blob-level surface (parallel codec path) ----------------------------
@@ -229,6 +363,7 @@ class ChunkCache:
         entry = self._entries.pop(chunk, None)
         if entry is not None:
             self.tracker.free(CATEGORY, entry[0].nbytes)
+            self._policy.on_remove(chunk)
         self.inner.put_blob(chunk, blob, **kwargs)
 
     def permute(self, perm) -> None:

@@ -71,6 +71,17 @@ class CompressedChunkStore:
         self._zero_blob: Optional[bytes] = None
         self._zero_refs = 0
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Amplitude dtype chunks decompress to.
+
+        Layers above the store (the decompressed-chunk cache, staging
+        helpers) derive their element type from here instead of assuming
+        ``complex128`` — the hook the adaptive-precision roadmap item
+        needs.
+        """
+        return np.dtype(np.complex128)
+
     # -- initialization -------------------------------------------------------
 
     def init_zero_state(self) -> None:
@@ -185,7 +196,7 @@ class CompressedChunkStore:
         """
         cs = self.layout.chunk_size
         if out is None:
-            out = np.empty(len(chunks) * cs, dtype=np.complex128)
+            out = np.empty(len(chunks) * cs, dtype=self.dtype)
         blobs = []
         for c in chunks:
             blob = self.get_blob(c)
@@ -379,7 +390,7 @@ class CompressedChunkStore:
     # -- whole-vector reconstruction (tests / small n) ----------------------------------
 
     def to_statevector(self) -> np.ndarray:
-        out = np.empty(self.layout.num_amplitudes, dtype=np.complex128)
+        out = np.empty(self.layout.num_amplitudes, dtype=self.dtype)
         cs = self.layout.chunk_size
         for k in range(self.layout.num_chunks):
             out[k * cs:(k + 1) * cs] = self.load(k)

@@ -1,23 +1,29 @@
 """Out-of-core chunk storage: spill compressed blobs to disk.
 
 The paper keeps the compressed state in CPU memory; when even the
-*compressed* footprint outgrows RAM, the next rung is disk. This store
-keeps blobs in an append-only log file with an in-memory offset index —
-the only RAM cost is ~48 bytes of index per chunk, regardless of state
-size, so the qubit ceiling becomes a function of disk capacity.
+*compressed* footprint outgrows RAM, the next rung is disk. Two pieces
+live here:
 
-Updates append (the old record becomes garbage); when the garbage fraction
-exceeds ``compact_threshold`` the log is rewritten in place. The class
-exposes the same surface as :class:`CompressedChunkStore`, so the
+* :class:`BlobLog` — an append-only blob log file with mmap-backed reads.
+  Updates append (the old record becomes garbage); the owner triggers a
+  rewrite when the garbage fraction crosses its threshold. The log is the
+  shared disk substrate for both stores below **and** for the tiered
+  store's spill edge (:class:`~repro.memory.hierarchy.TieredChunkStore`).
+* :class:`DiskChunkStore` — a chunk store whose blobs all live in a log;
+  the only RAM cost is ~48 bytes of index per chunk, regardless of state
+  size, so the qubit ceiling becomes a function of disk capacity.
+
+Both expose the same surface as :class:`CompressedChunkStore`, so the
 scheduler, cache, results object and checkpointing all work unchanged on
-top of it.
+top of them.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -26,9 +32,152 @@ from .accounting import MemoryTracker
 from .chunkstore import CompressedChunkStore
 from .layout import ChunkLayout
 
-__all__ = ["DiskChunkStore"]
+__all__ = ["BlobLog", "DiskChunkStore"]
 
 CATEGORY = "disk_store"
+
+
+class BlobLog:
+    """Append-only blob log with mmap-backed reads.
+
+    Records are opaque ``(offset, length)`` tuples; callers key remaps by
+    ``id(record)`` so shared records (the interned zero blob) stay shared
+    across a rewrite. Reads go through a lazily-(re)mapped ``mmap`` view —
+    the file handle is flushed and the view regrown only when a read
+    reaches past the mapped extent, so steady-state reads are memcpys out
+    of the page cache, not syscalls.
+
+    The ``tracker`` category records *file* bytes; every append/read also
+    lands on the traffic ledger's ``disk.write``/``disk.read`` edge when
+    telemetry is enabled.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        tracker: Optional[MemoryTracker] = None,
+        telemetry=None,
+        category: str = CATEGORY,
+    ):
+        from ..telemetry import NULL_TELEMETRY
+
+        self.path = Path(path)
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.category = category
+        self._fh = open(self.path, "w+b")
+        self._mm: Optional[mmap.mmap] = None
+        self._mm_size = 0
+        self._file_bytes = 0
+        self._live_bytes = 0
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def file_bytes(self) -> int:
+        return self._file_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def garbage_fraction(self) -> float:
+        if self._file_bytes == 0:
+            return 0.0
+        return 1.0 - self._live_bytes / self._file_bytes
+
+    # -- record I/O -----------------------------------------------------------
+
+    def append(self, blob: bytes) -> tuple:
+        """Append ``blob``; returns its ``(offset, length)`` record."""
+        off = self._file_bytes
+        self._fh.seek(off)
+        self._fh.write(blob)
+        self._file_bytes += len(blob)
+        self._live_bytes += len(blob)
+        self.tracker.alloc(self.category, len(blob))
+        if self.telemetry.enabled:
+            self.telemetry.traffic.record("disk", "write", len(blob))
+        return (off, len(blob))
+
+    def read(self, rec: tuple) -> bytes:
+        """Read a record's payload (mmap-backed)."""
+        off, length = rec
+        if off + length > self._mm_size:
+            self._remap()
+        if self._mm is not None and off + length <= self._mm_size:
+            blob = bytes(self._mm[off:off + length])
+        else:  # pragma: no cover - mmap unavailable / zero-length file
+            self._fh.flush()
+            self._fh.seek(off)
+            blob = self._fh.read(length)
+        if self.telemetry.enabled:
+            self.telemetry.traffic.record("disk", "read", len(blob))
+        return blob
+
+    def free(self, rec: tuple) -> None:
+        """Mark a record dead (its bytes become garbage until a rewrite)."""
+        self._live_bytes -= rec[1]
+
+    def _remap(self) -> None:
+        # Buffered writes must reach the OS before the page cache sees
+        # them; flush, then grow the view to the current file extent.
+        self._fh.flush()
+        self._drop_mmap()
+        if self._file_bytes > 0:
+            try:
+                self._mm = mmap.mmap(self._fh.fileno(), self._file_bytes,
+                                     access=mmap.ACCESS_READ)
+                self._mm_size = self._file_bytes
+            except (ValueError, OSError):  # pragma: no cover
+                self._mm = None
+                self._mm_size = 0
+
+    def _drop_mmap(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        self._mm_size = 0
+
+    # -- rewrite (compaction core) --------------------------------------------
+
+    def rewrite(self, records: Dict[int, tuple]) -> Dict[int, tuple]:
+        """Rewrite the log keeping only ``records`` (keyed by ``id(rec)``).
+
+        Returns ``{id(old_rec): new_rec}`` so the owner can remap its
+        index; shared old records map to one shared new record.
+        """
+        payloads = {key: self.read(rec) for key, rec in records.items()}
+        self._drop_mmap()
+        freed = self._file_bytes
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self._file_bytes = 0
+        self._live_bytes = 0
+        self.tracker.free(self.category, freed)
+        return {key: self.append(blob) for key, blob in payloads.items()}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._drop_mmap()
+        self._fh.close()
+        self.tracker.free(self.category, self._file_bytes)
+        self._file_bytes = 0
+        self._live_bytes = 0
+
+    def unlink(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlobLog {self.path.name} file={self._file_bytes:,}B "
+            f"live={self._live_bytes:,}B garbage={self.garbage_fraction:.0%}>"
+        )
 
 
 class DiskChunkStore(CompressedChunkStore):
@@ -51,48 +200,27 @@ class DiskChunkStore(CompressedChunkStore):
         super().__init__(layout, compressor, tracker, telemetry)
         if not 0.0 < compact_threshold <= 1.0:
             raise ValueError("compact_threshold must be in (0, 1]")
-        self.path = Path(path)
         self.compact_threshold = float(compact_threshold)
-        self._fh = open(self.path, "w+b")
-        # chunk -> (offset, length); -1 length marks "uses the zero blob"
+        self._log = BlobLog(path, tracker=self.tracker,
+                            telemetry=self.telemetry)
+        self.path = self._log.path
+        # chunk -> (offset, length) record in the log
         self._index: List[Optional[tuple]] = [None] * layout.num_chunks
         self._zero_record: Optional[tuple] = None
-        self._live_bytes = 0
-        self._file_bytes = 0
         self.compactions = 0
 
     # -- blob plumbing (overrides) -------------------------------------------
 
-    def _append(self, blob: bytes) -> tuple:
-        off = self._file_bytes
-        self._fh.seek(off)
-        self._fh.write(blob)
-        self._file_bytes += len(blob)
-        self.tracker.alloc(CATEGORY, len(blob))
-        if self.telemetry.enabled:
-            self.telemetry.traffic.record("disk", "write", len(blob))
-        return (off, len(blob))
-
-    def _read_record(self, rec: tuple) -> bytes:
-        self._fh.seek(rec[0])
-        blob = self._fh.read(rec[1])
-        if self.telemetry.enabled:
-            self.telemetry.traffic.record("disk", "read", len(blob))
-        return blob
-
     def _set_blob(self, chunk: int, blob: bytes, shared: bool = False) -> None:
         old = self._index[chunk]
         if old is not None and old is not self._zero_record:
-            self._live_bytes -= old[1]
+            self._log.free(old)
         if shared:
             if self._zero_record is None:
-                self._zero_record = self._append(blob)
-                self._live_bytes += self._zero_record[1]
+                self._zero_record = self._log.append(blob)
             self._index[chunk] = self._zero_record
         else:
-            rec = self._append(blob)
-            self._live_bytes += rec[1]
-            self._index[chunk] = rec
+            self._index[chunk] = self._log.append(blob)
         self._maybe_compact()
 
     def load(self, chunk: int, out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -102,7 +230,7 @@ class DiskChunkStore(CompressedChunkStore):
         # Shared decode path: codec stats/metrics/ledger accounting is
         # byte-identical to the in-memory store; only the disk read is
         # specific to this tier.
-        return self._decode(chunk, self._read_record(rec), out)
+        return self._decode(chunk, self._log.read(rec), out)
 
     # -- blob access overrides (the in-memory list stays empty) ----------------
 
@@ -110,7 +238,7 @@ class DiskChunkStore(CompressedChunkStore):
         rec = self._index[chunk]
         if rec is None:
             return None
-        return self._read_record(rec)
+        return self._log.read(rec)
 
     def is_zero_chunk(self, chunk: int) -> bool:
         return (self._index[chunk] is not None
@@ -119,10 +247,10 @@ class DiskChunkStore(CompressedChunkStore):
     def zero_blob_bytes(self):
         if self._zero_record is None:
             return None
-        return self._read_record(self._zero_record)
+        return self._log.read(self._zero_record)
 
     def compressed_nbytes(self) -> int:
-        return self._live_bytes
+        return self._log.live_bytes
 
     def blob_sizes(self) -> List[int]:
         return [0 if r is None else r[1] for r in self._index]
@@ -140,39 +268,25 @@ class DiskChunkStore(CompressedChunkStore):
 
     @property
     def file_bytes(self) -> int:
-        return self._file_bytes
+        return self._log.file_bytes
 
     @property
     def garbage_fraction(self) -> float:
-        if self._file_bytes == 0:
-            return 0.0
-        return 1.0 - self._live_bytes / self._file_bytes
+        return self._log.garbage_fraction
 
     def _maybe_compact(self) -> None:
-        if self._file_bytes < 1 << 16:
+        if self._log.file_bytes < 1 << 16:
             return
-        if self.garbage_fraction >= self.compact_threshold:
+        if self._log.garbage_fraction >= self.compact_threshold:
             self.compact()
 
     def compact(self) -> None:
         """Rewrite the log keeping only live records."""
-        records = {}
+        records: Dict[int, tuple] = {}
         for rec in self._index:
             if rec is not None:
                 records.setdefault(id(rec), rec)
-        payloads = {}
-        for key, rec in records.items():
-            payloads[key] = self._read_record(rec)
-        freed = self._file_bytes
-        self._fh.seek(0)
-        self._fh.truncate(0)
-        self._file_bytes = 0
-        self._live_bytes = 0
-        self.tracker.free(CATEGORY, freed)
-        new_pos = {}
-        for key, blob in payloads.items():
-            new_pos[key] = self._append(blob)
-            self._live_bytes += len(blob)
+        new_pos = self._log.rewrite(records)
         for i, rec in enumerate(self._index):
             if rec is not None:
                 self._index[i] = new_pos[id(rec)]
@@ -183,23 +297,18 @@ class DiskChunkStore(CompressedChunkStore):
         self.compactions += 1
 
     def close(self) -> None:
-        self._fh.close()
-        self.tracker.free(CATEGORY, self._file_bytes)
-        self._file_bytes = 0
-        self._live_bytes = 0
+        self._log.close()
 
     def __enter__(self) -> "DiskChunkStore":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
-        try:
-            os.unlink(self.path)
-        except OSError:
-            pass
+        self._log.unlink()
 
     def __repr__(self) -> str:
         return (
-            f"<DiskChunkStore {self.path.name} file={self._file_bytes:,}B "
-            f"live={self._live_bytes:,}B garbage={self.garbage_fraction:.0%}>"
+            f"<DiskChunkStore {self.path.name} file={self.file_bytes:,}B "
+            f"live={self._log.live_bytes:,}B "
+            f"garbage={self.garbage_fraction:.0%}>"
         )

@@ -164,6 +164,7 @@ class StageScheduler:
         backend=None,
         max_fuse_qubits: int = 3,
         cancel=None,
+        schedule=None,
     ):
         """``executor`` is one DeviceExecutor or a sequence of them; with
         several, chunk groups are distributed round-robin (simulated
@@ -180,7 +181,13 @@ class StageScheduler:
         .CancelToken` polled at every group-pass boundary: when it fires,
         the current pass finishes (the store stays chunk-consistent) and
         :class:`~repro.pipeline.cancel.JobCancelled` is raised before the
-        next pass starts."""
+        next pass starts.
+        ``schedule`` is an optional plan-exact
+        :class:`~repro.memory.hierarchy.AccessSchedule` shared with the
+        memory hierarchy; the scheduler advances its cursor per group
+        pass (and past permutation barriers) so schedule-driven layers —
+        Belady eviction, plan-coldest spilling — always know where in the
+        plan execution stands."""
         if not 0.0 <= cpu_offload_fraction <= 1.0:
             raise ValueError("cpu_offload_fraction must be in [0, 1]")
         self.layout = layout
@@ -210,6 +217,7 @@ class StageScheduler:
             max_fuse_qubits=max_fuse_qubits,
         )
         self.cancel = cancel if cancel is not None else NULL_CANCEL
+        self.schedule = schedule
         self._stage_parity = 0
         self._stage_index = 0
         #: the stage index currently executing — the attribution context
@@ -271,6 +279,11 @@ class StageScheduler:
         # identities change — the access trace records it as a barrier.
         tel.traffic.set_pass(self._audit_si)
         tel.access.barrier(self._audit_si)
+        if self.schedule is not None:
+            # Reuse does not survive the relabeling; the schedule cursor
+            # crosses the matching barrier so next-use queries stay
+            # epoch-bounded on the correct side.
+            self.schedule.barrier(self._audit_si)
         with tel.stage_span(self.timeline, Stage.CPU_UPDATE,
                             kind="permutation"):
             self.store.permute(stage.perm)
@@ -304,9 +317,17 @@ class StageScheduler:
         group_size = self.layout.chunk_size << len(placement.group_qubits)
         cpu_every = self._cpu_every()
         order = self._group_order(placement)
+        will_need = getattr(self.store, "will_need", None)
         for gi, members in order:
             self.cancel.raise_if_cancelled()
             self.telemetry.traffic.set_pass(si, gi)
+            if self.schedule is not None:
+                self.schedule.begin_pass(si, gi)
+            if will_need is not None:
+                # Advisory hint down the hierarchy: a tiered store promotes
+                # this pass's disk-resident blobs before the streaming
+                # loop pays per-chunk latencies for them.
+                will_need(members)
             cpu_path = cpu_every > 0 and (gi % cpu_every == 0)
             ops = self._ops_for_group(stage, placement, members[0])
             with self.telemetry.span(

@@ -10,6 +10,7 @@ from repro.analysis.memtrace import (
     hit_rate_curve,
     reuse_distance_histogram,
     reuse_distances,
+    simulate_cache,
     simulate_lru,
 )
 from repro.circuits import get_workload
@@ -188,3 +189,66 @@ class TestAgainstLiveCache:
         assert misses == stats.misses
         assert hits == stats.hits
         assert belady_misses(trace, 4) <= misses
+
+
+class TestSimulateCache:
+    def test_lru_shorthand_equivalence(self):
+        trace = [R(k % 5) for k in range(20)] + [W(2), R(7), R(2)]
+        assert simulate_cache(trace, 3, "lru") == simulate_lru(trace, 3)
+
+    def test_mru_evicts_most_recent(self):
+        # fill 0,1 then touch 2: MRU evicts 1 (most recent), keeps 0
+        trace = [R(0), R(1), R(2), R(0), R(1)]
+        hits, misses = simulate_cache(trace, 2, "mru")
+        assert (hits, misses) == (1, 4)
+        # LRU on the same trace keeps 1,2 -> 0 misses again
+        assert simulate_cache(trace, 2, "lru") == (0, 5)
+
+    def test_mru_beats_lru_on_cyclic_sweep(self):
+        cycle = [R(k) for k in range(4)]
+        trace = cycle * 6
+        _, lru_m = simulate_cache(trace, 3, "lru")
+        _, mru_m = simulate_cache(trace, 3, "mru")
+        assert mru_m < lru_m
+
+    def test_belady_policy_is_the_bound(self):
+        trace = [R(k % 7) for k in range(50)] + [W(1), R(1), R(6)]
+        hits, misses = simulate_cache(trace, 3, "belady")
+        assert misses == belady_misses(trace, 3)
+        reads = sum(1 for _s, _c, op in trace if op == "r")
+        assert hits == reads - misses
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            simulate_cache([R(0)], 2, "fifo")
+        with pytest.raises(ValueError):
+            simulate_cache([R(0)], 0, "lru")
+
+
+class TestAnalyzePolicy:
+    def test_policy_fields_default_lru(self):
+        trace = [R(0), R(1), R(0), W(2), R(2)]
+        rep = analyze_trace(trace, 2, measured_lru_misses=3)
+        assert rep.policy == "lru"
+        assert rep.policy_misses == rep.lru_misses
+        assert rep.measured_misses == 3
+        d = rep.to_dict()
+        assert d["measured_lru_misses"] == 3  # legacy key intact
+
+    def test_policy_mru_keeps_lru_baseline(self):
+        trace = ([R(k) for k in range(4)] * 5)
+        rep = analyze_trace(trace, 3, policy="mru", measured_misses=None)
+        assert rep.policy == "mru"
+        assert rep.policy_misses == simulate_cache(trace, 3, "mru")[1]
+        assert rep.lru_misses == simulate_lru(trace, 3)[1]
+        assert rep.belady_misses <= rep.policy_misses
+
+    def test_measured_misses_backfills_legacy_field(self):
+        trace = [R(0), R(1), R(0)]
+        rep = analyze_trace(trace, 2, policy="lru", measured_misses=2)
+        assert rep.measured_lru_misses == 2
+
+    def test_render_mentions_policy(self):
+        trace = ([R(k) for k in range(4)] * 3)
+        rep = analyze_trace(trace, 2, policy="mru", measured_misses=None)
+        assert "MRU" in rep.render()

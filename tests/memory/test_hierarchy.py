@@ -1,0 +1,334 @@
+"""Unit tests for the plan-driven memory hierarchy.
+
+Covers the :class:`AccessSchedule` cursor/next-use semantics, the
+:class:`TieredChunkStore` RAM/disk split (spill, promote, budget,
+permute, compaction), and the :class:`MemoryHierarchy` facade — plus the
+end-to-end contract that the live Belady cache takes exactly the misses
+the offline Belady bound computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_compressor
+from repro.memory import (
+    AccessSchedule,
+    ChunkCache,
+    ChunkLayout,
+    CompressedChunkStore,
+    MemoryHierarchy,
+    MemoryTracker,
+    TieredChunkStore,
+)
+
+
+def rand_chunk(c, seed):
+    g = np.random.default_rng(seed)
+    v = g.standard_normal(1 << c) + 1j * g.standard_normal(1 << c)
+    return (v / np.linalg.norm(v)).astype(np.complex128)
+
+
+# ---------------------------------------------------------------------------
+# AccessSchedule
+
+
+def sched(passes):
+    return AccessSchedule(passes)
+
+
+class TestAccessSchedule:
+    PASSES = [
+        ("pass", 0, 0, (0, 1)),
+        ("pass", 0, 1, (2, 3)),
+        ("barrier", 1, -1, ()),
+        ("pass", 2, 0, (0, 2)),
+    ]
+
+    def test_sequence_layout(self):
+        s = sched(self.PASSES)
+        # 2 passes x (2 reads + 2 writes) + 1 barrier + 1 pass x 4
+        assert len(s) == 13
+
+    def test_observe_matches_in_order(self):
+        s = sched(self.PASSES)
+        s.begin_pass(0, 0)
+        nu = s.observe(0, "r")
+        # chunk 0's next access is its own write at position 2
+        assert nu == 2.0
+        assert s.observe(1, "r") == 3.0
+        # writes: chunk 0 not reused before the barrier -> inf
+        assert s.observe(0, "w") == float("inf")
+        assert s.matched == 3
+
+    def test_observe_off_schedule_returns_none_keeps_cursor(self):
+        s = sched(self.PASSES)
+        s.begin_pass(0, 0)
+        cur = s.cursor
+        assert s.observe(7, "r") is None
+        assert s.cursor == cur
+        assert s.off_schedule == 1
+        # replay continues unharmed
+        assert s.observe(0, "r") == 2.0
+
+    def test_barrier_bounds_next_use(self):
+        s = sched(self.PASSES)
+        s.begin_pass(0, 1)
+        # the read's next use is this pass's own write...
+        assert s.observe(2, "r") == 6.0
+        assert s.observe(3, "r") == 7.0
+        # ...but the write's reuse (stage 2) sits past the barrier: never
+        assert s.observe(2, "w") == float("inf")
+
+    def test_begin_pass_reseeks_cursor(self):
+        s = sched(self.PASSES)
+        s.begin_pass(2, 0)
+        assert s.observe(0, "r") is not None
+
+    def test_barrier_advances_past(self):
+        s = sched(self.PASSES)
+        s.barrier(1)
+        assert s.observe(0, "r") is not None
+        assert s.remaining() == 3
+
+    def test_next_use_of_is_barrier_bounded(self):
+        s = sched(self.PASSES)
+        s.begin_pass(0, 0)
+        assert s.next_use_of(0) == 0.0
+        # chunk 3's first use is in pass (0,1), before the barrier
+        assert s.next_use_of(3) == 5.0
+        # past pass (0,1), chunk 3's only remaining use... there is none
+        s.begin_pass(2, 0)
+        assert s.next_use_of(3) == float("inf")
+        # and chunk 2's stage-2 use is visible once the cursor crossed
+        assert s.next_use_of(2) == 10.0
+
+    def test_next_use_unknown_chunk(self):
+        s = sched(self.PASSES)
+        assert s.next_use_of(99) == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# TieredChunkStore
+
+
+@pytest.fixture
+def tiered(tmp_path):
+    lay = ChunkLayout(7, 3)  # 16 chunks of 8 amps
+    s = TieredChunkStore(lay, get_compressor("zlib"), tmp_path / "tier.log",
+                         host_budget_bytes=0, tracker=MemoryTracker())
+    yield s
+    s.close()
+
+
+def fill(store, seeds=range(16)):
+    for k, seed in zip(range(store.layout.num_chunks), seeds):
+        store.store(k, rand_chunk(3, seed + 1))
+
+
+class TestTieredStore:
+    def test_unbounded_budget_never_spills(self, tiered):
+        fill(tiered)
+        assert tiered.tier_stats.spills == 0
+        assert tiered.disk_blob_bytes() == 0
+
+    def test_budget_forces_spill_and_bytes_survive(self, tiered):
+        fill(tiered)
+        sizes = [len(tiered.get_blob(k)) for k in range(16)]
+        tiered.host_budget_bytes = sum(sizes) // 2
+        tiered._enforce_budget()
+        assert tiered.tier_stats.spills > 0
+        assert tiered.host_blob_bytes() <= tiered.host_budget_bytes
+        assert tiered.disk_blob_bytes() > 0
+        # spill/promote round trip is byte-identical
+        for k in range(16):
+            assert len(tiered.get_blob(k)) == sizes[k]
+
+    def test_spilled_blob_roundtrip_identity(self, tiered):
+        data = rand_chunk(3, 42)
+        tiered.store(5, data)
+        blob_before = tiered.get_blob(5)
+        tiered.host_budget_bytes = 1  # everything must spill
+        tiered._enforce_budget()
+        assert tiered.is_on_disk(5)
+        assert tiered.get_blob(5) == blob_before
+        np.testing.assert_array_equal(tiered.load(5), data)
+        # promote it back: bytes still identical
+        tiered.host_budget_bytes = 0
+        tiered.will_need([5])
+        assert not tiered.is_on_disk(5)
+        assert tiered.get_blob(5) == blob_before
+        assert tiered.tier_stats.promotions == 1
+
+    def test_zero_blob_pinned_in_ram(self, tiered):
+        tiered.init_zero_state()
+        tiered.host_budget_bytes = 1
+        tiered._enforce_budget()
+        # chunk 0 (amplitude 1) holds the only unique blob and may spill;
+        # the interned zero blob shared by chunks 1..15 never does
+        assert tiered.tier_stats.spills <= 1
+        for k in range(1, 16):
+            assert not tiered.is_on_disk(k)
+        sv = tiered.to_statevector()
+        assert sv[0] == 1.0 and np.count_nonzero(sv) == 1
+
+    def test_overwrite_drops_disk_record(self, tiered):
+        tiered.store(3, rand_chunk(3, 1))
+        tiered.host_budget_bytes = 1
+        tiered._enforce_budget()
+        assert tiered.is_on_disk(3)
+        live_before = tiered.disk_blob_bytes()
+        tiered.host_budget_bytes = 0
+        tiered.store(3, rand_chunk(3, 2))
+        assert not tiered.is_on_disk(3)
+        assert tiered.disk_blob_bytes() < live_before
+
+    def test_permute_relabels_both_tiers(self, tiered):
+        fill(tiered)
+        tiered.host_budget_bytes = tiered.host_blob_bytes() // 2
+        tiered._enforce_budget()
+        blobs = {k: tiered.get_blob(k) for k in range(16)}
+        n = 16
+        perm = [(k + 3) % n for k in range(n)]  # dst <- src=perm[dst]
+        tiered.permute(perm)
+        for dst in range(n):
+            assert tiered.get_blob(dst) == blobs[perm[dst]]
+        # statevector round-trips through the permuted mixed tiers
+        sv = tiered.to_statevector()
+        assert sv.shape[0] == 1 << 7
+
+    def test_schedule_aware_spill_prefers_plan_coldest(self, tiered):
+        fill(tiered, seeds=range(16))
+        # schedule: chunks 0..3 are needed next, 12..15 never
+        passes = [("pass", 0, 0, (0, 1, 2, 3))]
+        s = AccessSchedule(passes)
+        tiered.schedule = s
+        tiered.host_budget_bytes = tiered.host_blob_bytes() - 1
+        tiered._enforce_budget()
+        assert tiered.tier_stats.spills >= 1
+        # imminently-needed chunks stayed in RAM
+        for k in (0, 1, 2, 3):
+            assert not tiered.is_on_disk(k)
+
+    def test_compaction_reclaims_garbage(self, tiered, tmp_path):
+        fill(tiered)
+        tiered.host_budget_bytes = 1
+        tiered._enforce_budget()
+        # promote everything back -> the log is 100% garbage
+        tiered.host_budget_bytes = 0
+        tiered.will_need(range(16))
+        assert tiered.disk_blob_bytes() == 0
+        tiered.compact()
+        assert tiered.file_bytes == 0
+
+    def test_compact_preserves_live_records(self, tiered):
+        fill(tiered)
+        tiered.host_budget_bytes = tiered.host_blob_bytes() // 3
+        tiered._enforce_budget()
+        blobs = {k: tiered.get_blob(k) for k in range(16)}
+        # churn: rewrite half the RAM chunks to create log garbage
+        for k in range(16):
+            if not tiered.is_on_disk(k):
+                tiered.store(k, rand_chunk(3, 100 + k))
+                blobs[k] = tiered.get_blob(k)
+        tiered.compact()
+        for k in range(16):
+            assert tiered.get_blob(k) == blobs[k], k
+
+    def test_tracker_attribution(self, tmp_path):
+        tracker = MemoryTracker()
+        lay = ChunkLayout(7, 3)
+        s = TieredChunkStore(lay, get_compressor("zlib"),
+                             tmp_path / "t.log", 0, tracker=tracker)
+        fill(s)
+        assert tracker.current("chunk_store") == s.host_blob_bytes()
+        s.host_budget_bytes = s.host_blob_bytes() // 2
+        s._enforce_budget()
+        assert tracker.current("chunk_store") == s.host_blob_bytes()
+        assert tracker.current("disk_store") == s.file_bytes
+        s.close()
+
+
+# ---------------------------------------------------------------------------
+# MemoryHierarchy facade
+
+
+class TestMemoryHierarchy:
+    def test_build_without_cache(self):
+        lay = ChunkLayout(6, 3)
+        store = CompressedChunkStore(lay, get_compressor("zlib"),
+                                    MemoryTracker())
+        h = MemoryHierarchy.build(store)
+        assert h.store_like is store
+        assert not h.needs_schedule()
+        assert h.attach_plan([], lay) is None
+
+    def test_build_with_belady_cache_needs_schedule(self):
+        lay = ChunkLayout(6, 3)
+        store = CompressedChunkStore(lay, get_compressor("zlib"),
+                                    MemoryTracker())
+        h = MemoryHierarchy.build(store, cache_chunks=2,
+                                  cache_policy="belady")
+        assert isinstance(h.store_like, ChunkCache)
+        assert h.needs_schedule()
+
+    def test_describe_lists_tiers(self, tmp_path):
+        lay = ChunkLayout(6, 3)
+        store = TieredChunkStore(lay, get_compressor("zlib"),
+                                 tmp_path / "h.log", 1024,
+                                 tracker=MemoryTracker())
+        h = MemoryHierarchy.build(store, cache_chunks=2)
+        d = h.describe()
+        names = [t["tier"] for t in d["tiers"]]
+        assert names == ["decompressed_cache", "host_blobs", "disk_blobs"]
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Live cache == offline replay (the PR's headline contract)
+
+
+class TestLiveEqualsReplay:
+    @pytest.fixture(scope="class")
+    def streamed(self):
+        from repro.circuits import vqe_ansatz
+        from repro.core import MemQSim, MemQSimConfig
+        from repro.device import DeviceSpec
+        from repro.telemetry import ChunkAccessRecorder, Telemetry
+
+        def run(policy, cap=8):
+            tel = Telemetry()
+            rec = ChunkAccessRecorder()
+            tel.access = rec
+            cfg = MemQSimConfig(
+                chunk_qubits=4, cache_chunks=cap, cache_policy=policy,
+                execution="serial",
+                device=DeviceSpec(memory_bytes=int(0.002 * (1 << 20))),
+            )
+            res = MemQSim(cfg, telemetry=tel).run(vqe_ansatz(10, layers=2))
+            return res.store.cache_stats.misses, rec.trace()
+
+        return run
+
+    def test_live_belady_hits_the_offline_bound_exactly(self, streamed):
+        from repro.analysis.memtrace import belady_misses
+
+        live, trace = streamed("belady")
+        assert live == belady_misses(trace, 8)
+
+    def test_live_mru_matches_simulated_mru(self, streamed):
+        from repro.analysis.memtrace import simulate_cache
+
+        live, trace = streamed("mru")
+        assert live == simulate_cache(trace, 8, "mru")[1]
+
+    def test_live_lru_matches_simulated_lru(self, streamed):
+        from repro.analysis.memtrace import simulate_cache
+
+        live, trace = streamed("lru")
+        assert live == simulate_cache(trace, 8, "lru")[1]
+
+    def test_belady_never_beaten(self, streamed):
+        live_b, _ = streamed("belady")
+        live_l, _ = streamed("lru")
+        live_m, _ = streamed("mru")
+        assert live_b <= live_l and live_b <= live_m

@@ -85,6 +85,42 @@ class TestSchedulerFeatureEquivalence:
                               disk_path=str(tmp_path / "eq.log"))
         assert rep.ok, rep.summary()
 
+    def test_tiered_store_lossy_codec(self):
+        """Tiered store under a byte budget with a lossy codec, streamed
+        device: spill placement must never change bytes, so serial and
+        parallel stay blob-for-blob identical. (No decompressed cache —
+        a cache hit with a lossy codec legitimately skips requantization,
+        which is a different data trajectory, not a determinism bug; the
+        cache-present contract is covered losslessly below.) disk_path
+        stays None so each run gets its own temp log."""
+        from repro.device import DeviceSpec
+
+        rep = run_equivalence(
+            get_workload("vqe", 9), workers=WORKERS,
+            chunk_qubits=4, compressor="szlike",
+            compressor_options={"error_bound": 1e-6},
+            device=DeviceSpec(memory_bytes=int(0.002 * (1 << 20))),
+            host_store_mb=0.001,
+        )
+        assert rep.ok, rep.summary()
+        assert rep.state_bit_identical
+
+    def test_full_hierarchy_belady_cache(self):
+        """The whole stack at once — Belady cache over a budget-bound
+        tiered store, streamed device, schedule-exact prefetch on the
+        parallel side — bit-identical to serial execution."""
+        from repro.device import DeviceSpec
+
+        rep = run_equivalence(
+            get_workload("vqe", 9), workers=WORKERS,
+            chunk_qubits=4, compressor="zlib",
+            device=DeviceSpec(memory_bytes=int(0.002 * (1 << 20))),
+            cache_chunks=6, cache_policy="belady",
+            host_store_mb=0.001,
+        )
+        assert rep.ok, rep.summary()
+        assert rep.state_bit_identical
+
 
 class TestForcedExecutionModes:
     def test_parallel_engine_with_one_worker_matches_serial(self):

@@ -91,3 +91,30 @@ class TestMemQSimIntegration:
         assert cache.stats()["misses"] == 2
         assert len(cache) == 2
         assert r1.num_qubits == 8
+
+
+class TestCachedPlanDrivesHierarchy:
+    def test_cached_plan_still_feeds_belady_schedule(self):
+        """A plan served from the cache must still drive Belady eviction:
+        the hot run's live miss count equals the offline bound computed
+        from its own trace, and the state matches the uncached run."""
+        from repro.analysis.memtrace import belady_misses
+        from repro.device import DeviceSpec
+        from repro.memory import ChunkAccessRecorder
+
+        cache = PlanCache()
+        cfg = MemQSimConfig(
+            chunk_qubits=4, cache_chunks=6, cache_policy="belady",
+            execution="serial",
+            device=DeviceSpec(memory_bytes=int(0.002 * (1 << 20))))
+        circuit = qft(8)
+        plain = MemQSim(cfg).run(circuit)
+        MemQSim(cfg, plan_cache=cache).run(circuit)  # warm the plan cache
+        tel = Telemetry()
+        rec = ChunkAccessRecorder()
+        tel.access = rec
+        hot = MemQSim(cfg, plan_cache=cache, telemetry=tel).run(circuit)
+        assert cache.stats()["hits"] == 1
+        misses = hot.store.cache_stats.misses  # before digest streams chunks
+        assert misses == belady_misses(rec.trace(), 6)
+        assert hot.state_digest() == plain.state_digest()
