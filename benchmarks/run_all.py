@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "SV1": ("bench_serve", "fast"),
     "MT1": ("bench_memtrace", "fast"),
     "MH1": ("bench_hierarchy", "fast"),
+    "PR1": ("bench_precision", "fast"),
 }
 
 
@@ -56,7 +57,7 @@ def run_experiment(exp_id: str, module_name: str):
             runpy.run_module(module_name, run_name="__main__")
         ok = True
         status = "done"
-    except Exception as exc:  # keep going; report at the end
+    except (Exception, SystemExit) as exc:  # keep going; report at the end
         ok = False
         status = f"FAILED: {type(exc).__name__}: {exc}"
     finally:

@@ -478,6 +478,24 @@ def _events_section(result, max_rows: int = 200) -> str:
             f'{rows}</table></details>')
 
 
+def _precision_section(result) -> str:
+    """Tracked fidelity of the run's amplitude precision mode."""
+    fid = result.precision_fidelity()
+    overlap = fid["overlap"]
+    overlap_txt = (f"{overlap:.12f} (measured, {fid['method']})"
+                   if overlap is not None else
+                   f"&ge; {fid['analytic_overlap_bound']:.9f} "
+                   f"(analytic bound)")
+    rows = [
+        ("precision", _esc(fid["precision"])),
+        ("norm", f"{fid['norm']:.12f}"),
+        ("norm drift", f"{fid['norm_drift']:.3e}"),
+        ("overlap vs c128", overlap_txt),
+    ]
+    body = "".join(f"<tr><td>{l}</td><td>{v}</td></tr>" for l, v in rows)
+    return f"<table>{body}</table>"
+
+
 # -- the document --------------------------------------------------------------
 
 
@@ -506,6 +524,7 @@ def render_html(result, *, title: str = "MEMQSim run report",
         ("dense would be", format_bytes(result.dense_bytes)),
         ("qubits", str(result.num_qubits)),
         ("effective qubits gained", f"+{extra_q:.1f}"),
+        ("precision", result.precision),
     ]
     tile_html = "".join(
         f'<div class="tile"><div class="v">{_esc(v)}</div>'
@@ -522,6 +541,8 @@ def render_html(result, *, title: str = "MEMQSim run report",
         _compression_section(result, max_table_rows),
         "<h2>Compile / gate fusion</h2>",
         _compile_section(result),
+        "<h2>Precision fidelity</h2>",
+        _precision_section(result),
         "<h2>Memory traffic</h2>",
         _traffic_section(result),
         "<h2>Cache what-if (access trace)</h2>",

@@ -92,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--fuse", action="store_true",
                       help="deprecated alias for --fusion")
     _add_fusion_args(runp)
+    _add_precision_arg(runp)
     runp.add_argument("--cache-chunks", type=int, default=0,
                       help="decompressed-chunk cache capacity (0 = off)")
     runp.add_argument("--cache-policy", default="mru",
@@ -157,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     tracep.add_argument("--offload", type=float, default=0.0)
     tracep.add_argument("--device-mb", type=float, default=256.0)
     _add_fusion_args(tracep)
+    _add_precision_arg(tracep)
     _add_parallel_args(tracep)
     _add_telemetry_args(tracep)
     tracep.add_argument("--top", type=int, default=10,
@@ -175,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     repp.add_argument("--cache-chunks", type=int, default=0)
     repp.add_argument("--offload", type=float, default=0.0)
     repp.add_argument("--device-mb", type=float, default=256.0)
+    _add_precision_arg(repp)
     _add_parallel_args(repp)
     repp.add_argument("--monitor-interval", type=float, default=5.0,
                       metavar="MS",
@@ -222,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     audp.add_argument("--compressor", default="szlike")
     audp.add_argument("--error-bound", type=float, default=1e-6)
     audp.add_argument("--chunk-qubits", type=int, default=0, help="0 = auto")
+    _add_precision_arg(audp)
     audp.add_argument("--device-mb", type=float, default=256.0,
                       help="device arena size; small values force "
                            "multi-stage streaming")
@@ -335,6 +339,16 @@ def _serve_url(args) -> str:
     if args.url and args.port is not None:
         raise SystemExit("pass --url or --port, not both")
     return args.url or f"http://127.0.0.1:{args.port or DEFAULT_PORT}"
+
+
+def _add_precision_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--precision", default="c128",
+                   choices=["c128", "c64", "mixed", "auto"],
+                   help="amplitude precision: complex128 (default), "
+                        "complex64 (half the bytes on every tier edge), "
+                        "mixed (c64 at rest, c128 kernel accumulation), or "
+                        "auto (resolve empirically from the bench corpus / "
+                        "a micro-probe)")
 
 
 def _add_fusion_args(p: argparse.ArgumentParser) -> None:
@@ -492,6 +506,7 @@ def _cmd_run(args) -> int:
         cpu_offload_fraction=args.offload,
         fuse_gates=_fusion_enabled(args),
         max_fuse_qubits=args.max_fuse_qubits,
+        precision=args.precision,
         cache_chunks=_validate_cache_chunks(args.cache_chunks),
         cache_policy=args.cache_policy,
         store=args.store,
@@ -658,6 +673,7 @@ def _cmd_trace(args) -> int:
         cpu_offload_fraction=args.offload,
         fuse_gates=_fusion_enabled(args),
         max_fuse_qubits=args.max_fuse_qubits,
+        precision=args.precision,
         cache_chunks=_validate_cache_chunks(args.cache_chunks),
         workers=args.workers,
         execution=args.execution,
@@ -696,6 +712,7 @@ def _cmd_report(args) -> int:
         transfer=args.transfer,
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
         cpu_offload_fraction=args.offload,
+        precision=args.precision,
         cache_chunks=_validate_cache_chunks(args.cache_chunks),
         workers=args.workers,
         execution=args.execution,
@@ -797,6 +814,7 @@ def _cmd_audit(args) -> int:
         compressor=args.compressor,
         compressor_options=opts,
         device=DeviceSpec(memory_bytes=int(args.device_mb * (1 << 20))),
+        precision=args.precision,
         cache_chunks=0,
         cpu_offload_fraction=0.0,
         execution="serial",

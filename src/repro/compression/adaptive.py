@@ -20,7 +20,12 @@ from typing import Optional
 
 import numpy as np
 
-from .interface import Compressor, get_compressor, register_compressor
+from .interface import (
+    Compressor,
+    coerce_amplitudes,
+    get_compressor,
+    register_compressor,
+)
 
 __all__ = ["AdaptiveCompressor"]
 
@@ -73,7 +78,9 @@ class AdaptiveCompressor(Compressor):
         return occupied < self.sparsity_threshold
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
+        # The winning inner codec carries the dtype tag; the ADP1 wrapper
+        # stays dtype-agnostic.
+        data = coerce_amplitudes(data)
         if self._prefers_lossless(data):
             self.chunks_lossless += 1
             return _MAGIC + struct.pack("<B", _TAG_LOSSLESS) + self.lossless.compress(data)

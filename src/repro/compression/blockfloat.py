@@ -27,7 +27,13 @@ import zlib
 import numpy as np
 
 from .bitstream import pack_codes, unpack_fields
-from .interface import Compressor, register_compressor
+from .interface import (
+    Compressor,
+    coerce_amplitudes,
+    register_compressor,
+    split_dtype,
+    tag_dtype,
+)
 from .quantizer import unzigzag, zigzag
 
 __all__ = ["BlockFloatCompressor"]
@@ -77,8 +83,10 @@ class BlockFloatCompressor(Compressor):
     # -- compression -------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
+        data = coerce_amplitudes(data)
         n = data.shape[0]
+        # float32 planes upcast into the float64 padded array below; the
+        # quantization math itself is dtype-independent.
         planes = np.concatenate([data.real, data.imag]) if n else np.empty(0)
         m = planes.shape[0]
         nblocks = (m + _BLOCK - 1) // _BLOCK
@@ -116,11 +124,13 @@ class BlockFloatCompressor(Compressor):
         meta = e.astype(np.int16).tobytes() + k.astype(np.uint8).tobytes() \
             + widths.tobytes()
         payload = zlib.compress(meta + packed, self.level)
-        return header + struct.pack("<Q", total_bits) + payload
+        return tag_dtype(header + struct.pack("<Q", total_bits) + payload,
+                         data.dtype)
 
     # -- decompression ---------------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        out_dtype, blob = split_dtype(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a BFP1 blob")
         _mode, n, nblocks = struct.unpack_from("<BQI", blob, 4)
@@ -139,7 +149,7 @@ class BlockFloatCompressor(Compressor):
         mant = unzigzag(zz).reshape(nblocks, _BLOCK).astype(np.float64)
         scale = np.exp2((e - k).astype(np.float64))[:, None]
         planes = (mant * scale).reshape(-1)[: 2 * n]
-        return (planes[:n] + 1j * planes[n:]).astype(np.complex128)
+        return (planes[:n] + 1j * planes[n:]).astype(out_dtype)
 
 
 register_compressor(

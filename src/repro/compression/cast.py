@@ -14,7 +14,13 @@ import zlib
 
 import numpy as np
 
-from .interface import Compressor, register_compressor
+from .interface import (
+    Compressor,
+    coerce_amplitudes,
+    register_compressor,
+    split_dtype,
+    tag_dtype,
+)
 
 __all__ = ["CastCompressor"]
 
@@ -41,21 +47,25 @@ class CastCompressor(Compressor):
         return _F32_UNIT_EPS
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
-        low = data.astype(np.complex64)
-        return (
+        data = coerce_amplitudes(data)
+        # complex64 input is *already* at the storage precision — the
+        # downcast is the identity and the round-trip exact.
+        low = data if data.dtype == np.complex64 else data.astype(np.complex64)
+        blob = (
             _MAGIC
             + struct.pack("<Q", data.shape[0])
             + zlib.compress(low.tobytes(), self.level)
         )
+        return tag_dtype(blob, data.dtype)
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        dtype, blob = split_dtype(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a cast blob")
         (n,) = struct.unpack_from("<Q", blob, 4)
         raw = zlib.decompress(blob[12:])
         low = np.frombuffer(raw, dtype=np.complex64, count=n)
-        return low.astype(np.complex128)
+        return low.astype(dtype)
 
 
 register_compressor("cast", lambda level=1, **_: CastCompressor(level=level))

@@ -2,7 +2,7 @@
 
 MEMQSim treats compression as a pluggable module (the paper's "adaptable to
 accommodate various compression algorithms"). A compressor turns a 1-D
-complex128 amplitude array into a self-describing byte blob and back:
+complex amplitude array into a self-describing byte blob and back:
 
 * :meth:`Compressor.compress` — array -> bytes
 * :meth:`Compressor.decompress` — bytes -> array (length restored from blob)
@@ -11,6 +11,13 @@ Lossy compressors must respect their advertised error bound: every element
 of the round-tripped array differs from the original by at most
 :attr:`Compressor.error_bound` in each of the real and imaginary parts.
 
+Blobs are dtype-carrying: a complex128 chunk encodes exactly as it always
+has (byte-identical to the historical format), while a complex64 chunk's
+blob is prefixed with a 5-byte ``DTP1`` dtype tag so that
+:meth:`Compressor.decompress` restores the array in the dtype it was
+compressed from. Codecs apply the tag with :func:`tag_dtype` and strip it
+with :func:`split_dtype`.
+
 The registry maps names to factory callables so configurations can name
 compressors in plain strings (``"szlike"``, ``"zlib"``, ...).
 """
@@ -18,11 +25,66 @@ compressors in plain strings (``"szlike"``, ``"zlib"``, ...).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Compressor", "register_compressor", "get_compressor", "available_compressors"]
+__all__ = [
+    "Compressor",
+    "register_compressor",
+    "get_compressor",
+    "available_compressors",
+    "DTYPE_MAGIC",
+    "tag_dtype",
+    "split_dtype",
+    "coerce_amplitudes",
+]
+
+#: prefix marking a non-complex128 blob: ``DTP1`` + one dtype-tag byte,
+#: then the codec's own (untouched) frame. complex128 blobs carry no
+#: prefix, keeping the historical format byte-identical.
+DTYPE_MAGIC = b"DTP1"
+
+_DTYPE_TAGS: Dict[np.dtype, int] = {np.dtype(np.complex64): 0x01}
+_TAG_TO_DTYPE: Dict[int, np.dtype] = {v: k for k, v in _DTYPE_TAGS.items()}
+
+
+def coerce_amplitudes(data: np.ndarray) -> np.ndarray:
+    """Normalize codec input to a contiguous complex64/complex128 array.
+
+    Anything that is not already one of the two supported amplitude
+    dtypes upcasts to complex128 (the historical behaviour).
+    """
+    data = np.ascontiguousarray(data)
+    if data.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+        data = np.ascontiguousarray(data, dtype=np.complex128)
+    return data
+
+
+def tag_dtype(blob: bytes, dtype) -> bytes:
+    """Prefix ``blob`` with a dtype tag unless it is complex128."""
+    dt = np.dtype(dtype)
+    if dt == np.dtype(np.complex128):
+        return blob
+    try:
+        tag = _DTYPE_TAGS[dt]
+    except KeyError:
+        raise ValueError(f"no blob dtype tag for {dt}") from None
+    return DTYPE_MAGIC + bytes([tag]) + blob
+
+
+def split_dtype(blob: bytes) -> Tuple[np.dtype, bytes]:
+    """Strip a dtype tag: returns ``(dtype, inner_blob)``.
+
+    Untagged blobs are complex128 by definition.
+    """
+    if blob[:4] == DTYPE_MAGIC:
+        try:
+            dt = _TAG_TO_DTYPE[blob[4]]
+        except KeyError:
+            raise ValueError(f"unknown blob dtype tag {blob[4]:#x}") from None
+        return dt, blob[5:]
+    return np.dtype(np.complex128), blob
 
 
 class Compressor(abc.ABC):
@@ -43,7 +105,11 @@ class Compressor(abc.ABC):
 
     @abc.abstractmethod
     def compress(self, data: np.ndarray) -> bytes:
-        """Compress a 1-D complex128 array into a self-describing blob."""
+        """Compress a 1-D complex64/complex128 array into a blob.
+
+        The blob is self-describing, including the input dtype (see
+        :func:`tag_dtype`): decompressing restores the original dtype.
+        """
 
     @abc.abstractmethod
     def decompress(self, blob: bytes) -> np.ndarray:

@@ -17,7 +17,13 @@ import zlib
 
 import numpy as np
 
-from .interface import Compressor, register_compressor
+from .interface import (
+    Compressor,
+    coerce_amplitudes,
+    register_compressor,
+    split_dtype,
+    tag_dtype,
+)
 
 __all__ = ["ZlibCompressor", "LzmaCompressor", "Bz2Compressor", "NullCompressor"]
 
@@ -41,15 +47,18 @@ class _ByteCodecCompressor(Compressor):
         raise NotImplementedError
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
-        return _MAGIC + struct.pack("<Q", data.shape[0]) + self._encode(data.tobytes())
+        data = coerce_amplitudes(data)
+        blob = _MAGIC + struct.pack("<Q", data.shape[0]) \
+            + self._encode(data.tobytes())
+        return tag_dtype(blob, data.dtype)
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        dtype, blob = split_dtype(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a lossless blob")
         (n,) = struct.unpack_from("<Q", blob, 4)
         raw = self._decode(blob[12:])
-        return np.frombuffer(raw, dtype=np.complex128, count=n).copy()
+        return np.frombuffer(raw, dtype=dtype, count=n).copy()
 
 
 class ZlibCompressor(_ByteCodecCompressor):

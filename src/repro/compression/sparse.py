@@ -15,7 +15,13 @@ import zlib
 
 import numpy as np
 
-from .interface import Compressor, register_compressor
+from .interface import (
+    Compressor,
+    coerce_amplitudes,
+    register_compressor,
+    split_dtype,
+    tag_dtype,
+)
 
 __all__ = ["SparseCompressor"]
 
@@ -42,33 +48,38 @@ class SparseCompressor(Compressor):
         return False
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
+        data = coerce_amplitudes(data)
         n = data.shape[0]
         nz = np.flatnonzero(data)
         if n and nz.shape[0] <= self.density_threshold * n:
             idx = nz.astype(np.uint32 if n <= 1 << 32 else np.uint64)
+            # Values are stored in the input dtype; the outer dtype tag
+            # tells the decoder how wide they are.
             payload = zlib.compress(
                 idx.tobytes() + data[nz].tobytes(), self.level
             )
-            return _MAGIC + struct.pack(
+            blob = _MAGIC + struct.pack(
                 "<BQIB", _TAG_SPARSE, n, nz.shape[0], idx.dtype.itemsize
             ) + payload
-        return _MAGIC + struct.pack("<BQIB", _TAG_DENSE, n, 0, 0) + \
-            zlib.compress(data.tobytes(), self.level)
+        else:
+            blob = _MAGIC + struct.pack("<BQIB", _TAG_DENSE, n, 0, 0) + \
+                zlib.compress(data.tobytes(), self.level)
+        return tag_dtype(blob, data.dtype)
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        val_dtype, blob = split_dtype(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a sparse blob")
         tag, n, nnz, idx_size = struct.unpack_from("<BQIB", blob, 4)
         payload = blob[4 + struct.calcsize("<BQIB"):]
         raw = zlib.decompress(payload)
         if tag == _TAG_DENSE:
-            return np.frombuffer(raw, dtype=np.complex128, count=n).copy()
+            return np.frombuffer(raw, dtype=val_dtype, count=n).copy()
         dtype = np.uint32 if idx_size == 4 else np.uint64
         idx = np.frombuffer(raw, dtype=dtype, count=nnz)
-        vals = np.frombuffer(raw, dtype=np.complex128, count=nnz,
+        vals = np.frombuffer(raw, dtype=val_dtype, count=nnz,
                              offset=nnz * idx_size)
-        out = np.zeros(n, dtype=np.complex128)
+        out = np.zeros(n, dtype=val_dtype)
         out[idx] = vals
         return out
 

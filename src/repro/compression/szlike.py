@@ -29,7 +29,14 @@ import numpy as np
 
 from ..memory.bufferpool import scratch_pool
 from . import huffman
-from .interface import Compressor, register_compressor
+from .interface import (
+    DTYPE_MAGIC,
+    Compressor,
+    coerce_amplitudes,
+    register_compressor,
+    split_dtype,
+    tag_dtype,
+)
 from .quantizer import (
     quantize,
     resolve_error_bound,
@@ -120,7 +127,10 @@ class SZLikeCompressor(Compressor):
     # -- compression ----------------------------------------------------------
 
     def compress(self, data: np.ndarray) -> bytes:
-        data = np.ascontiguousarray(data, dtype=np.complex128)
+        data = coerce_amplitudes(data)
+        return tag_dtype(self._compress_frame(data), data.dtype)
+
+    def _compress_frame(self, data: np.ndarray) -> bytes:
         n = data.shape[0]
         # The concatenated real/imag planes and the bound-check reconstruction
         # are per-chunk scratch — borrow both from the process scratch pool so
@@ -160,6 +170,8 @@ class SZLikeCompressor(Compressor):
         return blob
 
     def _raw_blob(self, data: np.ndarray) -> bytes:
+        # Raw bytes stay in the input dtype; the outer dtype tag tells the
+        # decoder how to reinterpret them.
         packed = zlib.compress(data.tobytes(), self._level)
         return _MAGIC + struct.pack(
             "<BBQd", _FLAG_RAW, _ENTROPY_ZLIB, data.shape[0], 0.0
@@ -207,17 +219,20 @@ class SZLikeCompressor(Compressor):
     # -- decompression -----------------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        dtype, blob = split_dtype(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not an SZL1 blob")
         flag, entropy_id, n, abs_bound = struct.unpack_from("<BBQd", blob, 4)
         payload = blob[4 + struct.calcsize("<BBQd"):]
         if flag == _FLAG_RAW:
             raw = zlib.decompress(payload)
-            return np.frombuffer(raw, dtype=np.complex128, count=n).copy()
+            return np.frombuffer(raw, dtype=dtype, count=n).copy()
         zz = self._entropy_decode(payload, entropy_id, 2 * n)
         deltas = unzigzag(zz)
         codes = np.cumsum(deltas, dtype=np.int64)
-        out = np.empty(n, dtype=np.complex128)
+        # Building directly in the target dtype lets the component
+        # assignments below do the (single) float64 -> float32 downcast.
+        out = np.empty(n, dtype=dtype)
         # Same arithmetic as quantizer.dequantize (codes -> float64, one
         # product), but into a pooled plane buffer and then component-wise
         # into the output, skipping the intermediate complex temporaries.
@@ -244,10 +259,11 @@ def blob_entropy(blob: bytes) -> Optional[str]:
 
     Returns ``"huffman"``, ``"zlib"``, or ``"raw"`` (the lossless escape);
     ``None`` when the blob is not SZL1-framed. Adaptive-compressor wrappers
-    (``ADP1`` magic + tag byte) are looked through, so the chunk store can
-    attribute entropy choices without decompressing anything.
+    (``ADP1`` magic + tag byte) and dtype tags (``DTP1`` + tag byte) are
+    looked through, in any nesting order, so the chunk store can attribute
+    entropy choices without decompressing anything.
     """
-    if blob[:4] == _ADAPTIVE_MAGIC:
+    while blob[:4] in (_ADAPTIVE_MAGIC, DTYPE_MAGIC):
         blob = blob[5:]
     if blob[:4] != _MAGIC or len(blob) < 6:
         return None

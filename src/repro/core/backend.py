@@ -24,7 +24,14 @@ import numpy as np
 from ..circuits.gates import Gate
 from ..statevector.kernels import apply_circuit_gate, apply_stored_diagonal, num_qubits_of
 
-__all__ = ["Backend", "NumpyKernelBackend", "EinsumBackend", "get_backend", "register_backend"]
+__all__ = [
+    "Backend",
+    "NumpyKernelBackend",
+    "EinsumBackend",
+    "MixedPrecisionBackend",
+    "get_backend",
+    "register_backend",
+]
 
 
 class Backend(abc.ABC):
@@ -102,6 +109,37 @@ class EinsumBackend(Backend):
         for i, ax in enumerate(in_axes):
             labels[ax] = i  # replaced by the gate's output labels
         return labels
+
+
+class MixedPrecisionBackend(Backend):
+    """Wrapper implementing ``precision="mixed"``: c64 at rest, c128 compute.
+
+    The streamed buffers arrive in complex64 (half the bytes on every
+    tier edge); this wrapper upcasts the group buffer to complex128,
+    runs the whole op batch at full precision through the inner backend,
+    and rounds once back into the caller's buffer. Rounding error is one
+    float32 quantization per stage pass instead of one per gate.
+    """
+
+    name = "mixed"
+
+    def __init__(self, inner: Backend):
+        self.inner = inner
+
+    def apply(self, buf: np.ndarray, gates: Sequence[Gate]) -> None:
+        self._with_upcast(buf, lambda hi: self.inner.apply(hi, gates))
+
+    def apply_ops(self, buf: np.ndarray, ops: Sequence[object]) -> None:
+        self._with_upcast(buf, lambda hi: self.inner.apply_ops(hi, ops))
+
+    @staticmethod
+    def _with_upcast(buf: np.ndarray, run) -> None:
+        if buf.dtype == np.complex128:
+            run(buf)  # already full precision (e.g. oracle comparisons)
+            return
+        hi = buf.astype(np.complex128)
+        run(hi)
+        np.copyto(buf, hi.astype(buf.dtype))
 
 
 _BACKENDS: Dict[str, Type[Backend]] = {}

@@ -38,7 +38,17 @@ class MemQSimConfig:
         enable_permutation_stages: execute global X/SWAP as blob relabeling.
         min_chunks: auto chunk sizing keeps at least this many chunks.
         max_chunk_qubits: auto chunk sizing cap (keeps codec latency sane).
-        backend: kernel backend name (``"numpy"`` or ``"einsum"``).
+        backend: kernel backend name (``"numpy"`` or ``"einsum"``), or
+            ``"auto"`` — pick empirically from the committed bench corpus
+            (:mod:`repro.bench.decide`).
+        precision: amplitude precision — ``"c128"`` (default, complex128
+            everywhere), ``"c64"`` (complex64 everywhere: half the bytes
+            on every tier edge), ``"mixed"`` (complex64 at rest on every
+            tier edge, complex128 accumulation inside the kernels), or
+            ``"auto"`` (resolve from the bench corpus / micro-probe via
+            :mod:`repro.bench.decide`). Plan-relevant: the element size
+            changes what fits the device, so it participates in
+            :meth:`plan_key`.
         fuse_gates: run the gate-fusion compile passes (1q folding,
             diagonal merging, window fusion) when lowering the plan; off
             still compiles, 1:1 gate-to-op.
@@ -99,6 +109,7 @@ class MemQSimConfig:
     min_chunks: int = 4
     max_chunk_qubits: int = 14
     backend: str = "numpy"
+    precision: str = "c128"
     fuse_gates: bool = False
     max_fuse_qubits: int = 3
     num_devices: int = 1
@@ -115,6 +126,27 @@ class MemQSimConfig:
 
     def make_compressor(self) -> Compressor:
         return get_compressor(self.compressor, **self.compressor_options)
+
+    def storage_dtype(self):
+        """The at-rest amplitude dtype for the resolved precision.
+
+        Raises if precision is still ``"auto"`` — resolve through
+        :func:`repro.bench.decide.resolve_auto_config` first.
+        """
+        from .precision import storage_dtype
+
+        return storage_dtype(self.precision)
+
+    def storage_itemsize(self) -> int:
+        """Bytes per amplitude at rest (16 for c128, 8 for c64/mixed)."""
+        from .precision import storage_itemsize
+
+        return storage_itemsize(self.precision)
+
+    def needs_auto_resolution(self) -> bool:
+        """Whether any knob still needs :mod:`repro.bench.decide`."""
+        return (self.precision == "auto" or self.backend == "auto"
+                or self.workers == 0)
 
     def resolve_store(self) -> str:
         """The effective store kind: ``memory`` | ``disk`` | ``tiered``.
@@ -151,7 +183,7 @@ class MemQSimConfig:
         import math
 
         by_chunks = num_qubits - max(1, int(math.log2(self.min_chunks)))
-        dev_amps = self.device.memory_bytes // 16
+        dev_amps = self.device.memory_bytes // self.storage_itemsize()
         by_device = max(1, int(math.log2(max(2, dev_amps))) - 2)  # 2 bufs x group-of-2
         c = min(by_chunks, by_device, self.max_chunk_qubits)
         return max(1, c)
@@ -171,6 +203,7 @@ class MemQSimConfig:
         "enable_permutation_stages",
         "fuse_gates",
         "max_fuse_qubits",
+        "precision",
     )
 
     def plan_key(self) -> str:
@@ -183,8 +216,16 @@ class MemQSimConfig:
         buffer count participate because they bound the chunk size and
         the group width (``max_group_qubits_for``); execution-only knobs
         (codec, transfer, workers, cache, monitor) deliberately do not.
+        Precision participates because the amplitude itemsize changes
+        what fits the device. ``"auto"`` knobs must be resolved first —
+        a plan keyed on an unresolved knob would alias distinct plans.
         """
         import hashlib
+
+        if self.precision == "auto":
+            raise ValueError(
+                "plan_key() on precision='auto'; resolve via "
+                "repro.bench.decide.resolve_auto_config first")
 
         fields = [f"{k}={getattr(self, k)!r}" for k in self.PLAN_KNOBS]
         fields.append(f"device_bytes={self.device.memory_bytes}")
@@ -196,6 +237,7 @@ class MemQSimConfig:
         co = ", ".join(f"{k}={v}" for k, v in sorted(self.compressor_options.items()))
         return (
             f"chunk_qubits={self.chunk_qubits or 'auto'} "
+            f"precision={self.precision} "
             f"compressor={self.compressor}({co}) transfer={self.transfer} "
             f"device={self.device.memory_bytes // (1 << 20)}MiB "
             f"offload={self.cpu_offload_fraction:g} buffers={self.num_buffers} "

@@ -53,7 +53,7 @@ from ..telemetry import (
     get_logger,
     set_run_id,
 )
-from .backend import get_backend
+from .backend import MixedPrecisionBackend, get_backend
 from .config import MemQSimConfig
 from .results import MemQSimResult
 
@@ -157,6 +157,14 @@ class MemQSim:
         tel = self.telemetry
         n = circuit.num_qubits
         t_wall = time.perf_counter()
+        decisions = []
+        if cfg.needs_auto_resolution():
+            # Close every open knob (precision="auto", backend="auto",
+            # workers=0) before anything dtype- or plan-dependent runs;
+            # the decisions land in config_echo["decisions"].
+            from ..bench.decide import resolve_auto_config
+
+            cfg, decisions = resolve_auto_config(cfg, num_qubits=n)
         tel.emit("run.start", run_id=run_id, n=n, gates=len(circuit))
         given = sum(
             x is not None for x in (initial_state, checkpoint, initial_store)
@@ -201,14 +209,24 @@ class MemQSim:
             c = layout.chunk_qubits
         else:
             c = cfg.resolve_chunk_qubits(n)
-            layout = ChunkLayout(n, c)
-            store = self._make_store(layout, tracker)
+            layout = ChunkLayout(n, c, itemsize=cfg.storage_itemsize())
+            store = self._make_store(layout, tracker, cfg)
             if initial_state is not None:
                 if initial_state.num_qubits != n:
                     raise ValueError("initial state does not match circuit size")
                 store.init_from_statevector(initial_state.data)
             else:
                 store.init_zero_state()
+
+        if layout.itemsize != cfg.storage_itemsize():
+            # A checkpoint / initial store fixes the amplitude dtype; adopt
+            # its precision so the plan key, sizing math, and buffers agree
+            # with the blobs we are about to stream.
+            adopted = "c64" if layout.itemsize == 8 else "c128"
+            log.info("adopting precision=%s from the initial store "
+                     "(itemsize %d)", adopted, layout.itemsize)
+            cfg = cfg.with_updates(precision=adopted)
+        dtype = layout.dtype
 
         t_max = max_group_qubits_for(layout, cfg.device, double_buffer=cfg.num_buffers > 1)
         # Plan cache: keyed on circuit structure + plan-affecting knobs +
@@ -260,11 +278,12 @@ class MemQSim:
         # Host budget check: compressed store + staging must fit.
         group_qubits_used = plan.max_group_size
         buffer_amps = layout.chunk_size << group_qubits_used
-        pool_bytes = cfg.num_buffers * buffer_amps * 16
+        pool_bytes = cfg.num_buffers * buffer_amps * layout.itemsize
         if pool_bytes > cfg.host.memory_bytes:
             raise MemoryError(
                 f"host budget {cfg.host.memory_bytes:,}B cannot hold "
-                f"{cfg.num_buffers} staging buffers of {buffer_amps * 16:,}B"
+                f"{cfg.num_buffers} staging buffers of "
+                f"{buffer_amps * layout.itemsize:,}B"
             )
 
         # ---- online stage ----------------------------------------------------
@@ -272,12 +291,16 @@ class MemQSim:
 
         def _strategy():
             return make_strategy(
-                cfg.transfer, max_elements=buffer_amps, telemetry=tel
+                cfg.transfer, max_elements=buffer_amps, telemetry=tel,
+                dtype=dtype,
             ) if cfg.transfer == "buffer" else make_strategy(
                 cfg.transfer, telemetry=tel)
 
         transfer = _strategy()
         backend = get_backend(cfg.backend)
+        if cfg.precision == "mixed":
+            # c64 at rest on every tier edge; the kernels see c128.
+            backend = MixedPrecisionBackend(backend)
         if cfg.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         executors = []
@@ -300,7 +323,8 @@ class MemQSim:
         schedule = hierarchy.attach_plan(
             cplan.stages, layout, serpentine=cfg.serpentine_groups)
         store_like = hierarchy.store_like
-        pool = BufferPool(cfg.num_buffers, buffer_amps, tracker, telemetry=tel)
+        pool = BufferPool(cfg.num_buffers, buffer_amps, tracker, telemetry=tel,
+                          dtype=dtype)
         if cfg.execution not in ("serial", "parallel", "auto"):
             raise ValueError(
                 f"execution must be serial|parallel|auto, got {cfg.execution!r}"
@@ -386,6 +410,9 @@ class MemQSim:
                  pipelined)
         config_echo = {
             "chunk_qubits": c,
+            "precision": cfg.precision,
+            "backend": cfg.backend,
+            "decisions": [d.to_dict() for d in decisions],
             "compressor": cfg.compressor,
             "transfer": cfg.transfer,
             "cpu_offload_fraction": cfg.cpu_offload_fraction,
@@ -417,10 +444,16 @@ class MemQSim:
             resource_timeline=monitor.timeline(),
             compile_report=cplan.report,
             run_id=run_id,
+            precision=cfg.precision,
+            # Fidelity oracle is only meaningful for a known |0...0> start.
+            oracle_circuit=circuit if (initial_state is None
+                                       and checkpoint is None
+                                       and initial_store is None) else None,
         )
 
-    def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker):
-        cfg = self.config
+    def _make_store(self, layout: ChunkLayout, tracker: MemoryTracker,
+                    cfg: Optional[MemQSimConfig] = None):
+        cfg = cfg if cfg is not None else self.config
         tel = self.telemetry
         kind = cfg.resolve_store()
         if kind == "memory":

@@ -53,6 +53,13 @@ class MemQSimResult:
     #: the run's id — the same value stamped on log records and live bus
     #: events, so post-hoc artifacts correlate with live observability
     run_id: str = ""
+    #: the resolved amplitude precision the run executed at
+    precision: str = "c128"
+    #: the executed circuit, kept only when the run started from |0...0>
+    #: (enables the small-n dense c128 fidelity oracle); ``None`` disables
+    oracle_circuit: Optional[Any] = field(default=None, repr=False)
+    #: cache for :meth:`precision_fidelity` (it streams the store)
+    _fidelity: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     # -- state queries (streaming; never densify unless asked) ------------------
 
@@ -234,6 +241,56 @@ class MemQSimResult:
             self.store.store(k, chunk)
         return bit
 
+    #: dense-oracle ceiling: 2^14 complex128 amplitudes = 256 KiB
+    MAX_ORACLE_QUBITS = 14
+
+    def precision_fidelity(self, max_oracle_qubits: int = MAX_ORACLE_QUBITS
+                           ) -> Dict[str, Any]:
+        """Tracked fidelity of the run's precision mode (computed once).
+
+        Always reports the streamed norm and its drift from 1. For a
+        reduced-precision run that started from |0...0> at small ``n``,
+        also the measured state overlap ``|<psi_c128|psi>|^2`` against a
+        dense complex128 oracle (``method="oracle"``); at larger ``n`` the
+        analytic rounding bound stands in (``method="analytic-bound"``).
+        Lazy by design: the extra store pass must not pollute the run's
+        recorded access trace before a plan-vs-actual audit reads it.
+        """
+        if self._fidelity is not None:
+            return self._fidelity
+        from .precision import analytic_overlap_bound
+
+        norm = self.norm()
+        out: Dict[str, Any] = {
+            "precision": self.precision,
+            "norm": norm,
+            "norm_drift": abs(1.0 - norm),
+            "analytic_overlap_bound": analytic_overlap_bound(
+                self.precision, self.scheduler_stats.gates_applied),
+        }
+        if self.precision == "c128":
+            out["overlap"] = 1.0
+            out["method"] = "exact"
+        elif (self.oracle_circuit is not None
+              and self.num_qubits <= max_oracle_qubits):
+            from .backend import NumpyKernelBackend
+
+            ref = np.zeros(1 << self.num_qubits, dtype=np.complex128)
+            ref[0] = 1.0
+            NumpyKernelBackend().apply(ref, list(self.oracle_circuit))
+            out["overlap"] = self.fidelity_vs(ref)
+            out["method"] = "oracle"
+        else:
+            out["overlap"] = None
+            out["method"] = "analytic-bound"
+        if self.telemetry.enabled:
+            m = self.telemetry.metrics
+            m.gauge("precision.norm_drift").set(out["norm_drift"])
+            if out["overlap"] is not None:
+                m.gauge("precision.overlap").set(out["overlap"])
+        self._fidelity = out
+        return out
+
     def save_state(self, path) -> int:
         """Checkpoint the compressed store to disk; returns bytes written.
 
@@ -327,6 +384,7 @@ class MemQSimResult:
             },
             "compression_ratio": _num(self.compression_ratio),
             "qubit_headroom": _num(self.qubit_headroom),
+            "precision_fidelity": self.precision_fidelity(),
             "memory": {
                 "peaks": {cat: self.tracker.peak(cat)
                           for cat in self.tracker.categories()},
@@ -401,6 +459,16 @@ class MemQSimResult:
                 f"  compile: {cr.gates_in} gates -> {cr.ops_out} ops "
                 f"({cr.fusion_ratio:.2f}x, fusion="
                 f"{'on' if cr.fusion_enabled else 'off'})"
+            )
+        if self.precision != "c128":
+            fid = self.precision_fidelity()
+            overlap = fid["overlap"]
+            lines.append(
+                f"  precision: {self.precision}  norm drift "
+                f"{fid['norm_drift']:.2e}  overlap "
+                + (f"{overlap:.9f} ({fid['method']})" if overlap is not None
+                   else f">= {fid['analytic_overlap_bound']:.6f} "
+                        f"(analytic bound)")
             )
         if self.telemetry.enabled:
             snap = self.metrics_snapshot()

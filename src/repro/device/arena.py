@@ -40,15 +40,26 @@ class DeviceOutOfMemory(MemoryError):
 
 @dataclass
 class DeviceBuffer:
-    """A live allocation: a view into the arena's backing store."""
+    """A live allocation: a view into the arena's backing store.
 
-    offset: int  # in amplitudes
-    size: int  # in amplitudes
+    ``size`` counts *logical* amplitudes in the buffer's dtype;
+    ``back_size`` counts the complex128 backing elements the allocation
+    occupies (equal for c128 buffers, half-as-many backing elements per
+    amplitude for complex64 views).
+    """
+
+    offset: int  # in backing elements
+    size: int  # in logical amplitudes
     view: np.ndarray
+    back_size: int = 0  # in backing elements (0 = same as size)
+
+    def __post_init__(self):
+        if not self.back_size:
+            self.back_size = self.size
 
     @property
     def nbytes(self) -> int:
-        return self.size * 16
+        return self.view.nbytes
 
 
 @dataclass
@@ -88,26 +99,37 @@ class DeviceArena:
 
     # -- allocation -------------------------------------------------------------
 
-    def alloc(self, size: int) -> DeviceBuffer:
-        """Allocate ``size`` amplitudes; raises :class:`DeviceOutOfMemory`."""
+    def alloc(self, size: int, dtype=None) -> DeviceBuffer:
+        """Allocate ``size`` amplitudes of ``dtype`` (default complex128).
+
+        The backing stays complex128 (so a shared multi-tenant arena
+        serves jobs of any precision); non-c128 requests round up to
+        whole backing elements and hand out a reinterpreting view.
+        Raises :class:`DeviceOutOfMemory`.
+        """
         if size < 1:
             raise ValueError("size must be >= 1")
+        dt = np.dtype(np.complex128) if dtype is None else np.dtype(dtype)
+        nbytes = size * dt.itemsize
+        back = -(-nbytes // 16)  # backing elements, rounded up
         with self._lock:
             for i, (off, sz) in enumerate(self._free):
-                if sz >= size:
-                    if sz == size:
+                if sz >= back:
+                    if sz == back:
                         self._free.pop(i)
                     else:
-                        self._free[i] = (off + size, sz - size)
-                    buf = DeviceBuffer(off, size,
-                                       self._backing[off:off + size])
+                        self._free[i] = (off + back, sz - back)
+                    view = self._backing[off:off + back]
+                    if dt != self._backing.dtype:
+                        view = view.view(dt)[:size]
+                    buf = DeviceBuffer(off, size, view, back_size=back)
                     self._live[off] = buf
                     self.tracker.alloc(CATEGORY, buf.nbytes)
                     self.peak_amplitudes = max(self.peak_amplitudes,
                                                self._used_locked())
                     return buf
             raise DeviceOutOfMemory(
-                f"device OOM: need {size * 16:,} bytes, "
+                f"device OOM: need {back * 16:,} bytes, "
                 f"{self._free_locked() * 16:,} free of "
                 f"{self.capacity * 16:,}"
             )
@@ -120,7 +142,7 @@ class DeviceArena:
                 raise ValueError(
                     "buffer does not belong to this arena (or double free)")
             self.tracker.free(CATEGORY, buf.nbytes)
-            self._insert_free(buf.offset, buf.size)
+            self._insert_free(buf.offset, buf.back_size)
 
     def _insert_free(self, off: int, size: int) -> None:
         # Insert keeping order, then coalesce with neighbours.
@@ -197,7 +219,7 @@ class DeviceArena:
     # -- queries -------------------------------------------------------------------
 
     def _used_locked(self) -> int:
-        return sum(b.size for b in self._live.values())
+        return sum(b.back_size for b in self._live.values())
 
     def _free_locked(self) -> int:
         return sum(sz for _, sz in self._free)

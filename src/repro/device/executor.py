@@ -100,9 +100,9 @@ class DeviceExecutor:
 
     # -- memory ------------------------------------------------------------
 
-    def alloc(self, num_amplitudes: int) -> DeviceBuffer:
+    def alloc(self, num_amplitudes: int, dtype=None) -> DeviceBuffer:
         """Allocate a device buffer (raises DeviceOutOfMemory)."""
-        return self.arena.alloc(num_amplitudes)
+        return self.arena.alloc(num_amplitudes, dtype=dtype)
 
     def free(self, buf: DeviceBuffer) -> None:
         self.arena.free(buf)

@@ -171,11 +171,11 @@ class BufferedCopy(TransferStrategy):
     name = "buffer"
 
     def __init__(self, max_elements: int, log: Optional[TransferLog] = None,
-                 telemetry=None):
+                 telemetry=None, dtype=np.complex128):
         super().__init__(log, telemetry)
         if max_elements < 1:
             raise ValueError("max_elements must be >= 1")
-        self._staging = np.empty(max_elements, dtype=np.complex128)
+        self._staging = np.empty(max_elements, dtype=np.dtype(dtype))
 
     @property
     def staging_nbytes(self) -> int:
@@ -200,7 +200,7 @@ class BufferedCopy(TransferStrategy):
 
 def make_strategy(name: str, max_elements: int = 0,
                   log: Optional[TransferLog] = None,
-                  telemetry=None) -> TransferStrategy:
+                  telemetry=None, dtype=np.complex128) -> TransferStrategy:
     """Factory by name: ``sync`` | ``async`` | ``buffer``."""
     if name == "sync":
         return SyncCopy(log, telemetry)
@@ -209,5 +209,5 @@ def make_strategy(name: str, max_elements: int = 0,
     if name == "buffer":
         if max_elements < 1:
             raise ValueError("buffer strategy needs max_elements")
-        return BufferedCopy(max_elements, log, telemetry)
+        return BufferedCopy(max_elements, log, telemetry, dtype=dtype)
     raise KeyError(f"unknown transfer strategy {name!r}")

@@ -36,7 +36,7 @@ log = get_logger(__name__)
 
 
 class BufferPool:
-    """Fixed pool of equally-sized complex128 staging buffers."""
+    """Fixed pool of equally-sized complex staging buffers."""
 
     def __init__(
         self,
@@ -44,6 +44,7 @@ class BufferPool:
         buffer_size: int,
         tracker: Optional[MemoryTracker] = None,
         telemetry=None,
+        dtype=np.complex128,
     ):
         if num_buffers < 1:
             raise ValueError("num_buffers must be >= 1")
@@ -51,10 +52,12 @@ class BufferPool:
             raise ValueError("buffer_size must be >= 1")
         self.num_buffers = int(num_buffers)
         self.buffer_size = int(buffer_size)
+        self.dtype = np.dtype(dtype)
         self.tracker = tracker if tracker is not None else MemoryTracker()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._free: List[np.ndarray] = [
-            np.empty(buffer_size, dtype=np.complex128) for _ in range(num_buffers)
+            np.empty(buffer_size, dtype=self.dtype)
+            for _ in range(num_buffers)
         ]
         self._out: Set[int] = set()
         self.tracker.alloc(CATEGORY, self.total_nbytes)
@@ -62,7 +65,7 @@ class BufferPool:
 
     @property
     def total_nbytes(self) -> int:
-        return self.num_buffers * self.buffer_size * 16
+        return self.num_buffers * self.buffer_size * self.dtype.itemsize
 
     @property
     def available(self) -> int:

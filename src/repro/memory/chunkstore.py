@@ -61,6 +61,7 @@ class CompressedChunkStore:
         compressor: Compressor,
         tracker: Optional[MemoryTracker] = None,
         telemetry=None,
+        dtype=None,
     ):
         self.layout = layout
         self.compressor = compressor
@@ -70,23 +71,30 @@ class CompressedChunkStore:
         self._blobs: List[Optional[bytes]] = [None] * layout.num_chunks
         self._zero_blob: Optional[bytes] = None
         self._zero_refs = 0
+        self._dtype = np.dtype(dtype) if dtype is not None \
+            else np.dtype(np.complex64 if layout.itemsize == 8
+                          else np.complex128)
+        if self._dtype.itemsize != layout.itemsize:
+            raise ValueError(
+                f"store dtype {self._dtype} ({self._dtype.itemsize}B) does "
+                f"not match layout itemsize {layout.itemsize}")
 
     @property
     def dtype(self) -> np.dtype:
         """Amplitude dtype chunks decompress to.
 
         Layers above the store (the decompressed-chunk cache, staging
-        helpers) derive their element type from here instead of assuming
-        ``complex128`` — the hook the adaptive-precision roadmap item
-        needs.
+        helpers, the codec worker pool) derive their element type from
+        here instead of assuming ``complex128``. Defaults to whatever the
+        layout's itemsize implies (``complex64`` at 8 bytes/amplitude).
         """
-        return np.dtype(np.complex128)
+        return self._dtype
 
     # -- initialization -------------------------------------------------------
 
     def init_zero_state(self) -> None:
         """Install |0...0>: chunk 0 has amplitude 1 at offset 0, rest zero."""
-        zeros = np.zeros(self.layout.chunk_size, dtype=np.complex128)
+        zeros = np.zeros(self.layout.chunk_size, dtype=self.dtype)
         self._zero_blob = self._compress(zeros)
         first = zeros.copy()
         first[0] = 1.0
@@ -101,7 +109,8 @@ class CompressedChunkStore:
         cs = self.layout.chunk_size
         for k in range(self.layout.num_chunks):
             self._set_blob(k, self._compress(
-                np.ascontiguousarray(data[k * cs:(k + 1) * cs])
+                np.ascontiguousarray(data[k * cs:(k + 1) * cs],
+                                     dtype=self.dtype)
             ))
 
     def init_product_state(self, factors) -> None:
@@ -125,7 +134,7 @@ class CompressedChunkStore:
                 raise ValueError(f"factor {q} is not normalized")
             facs.append(f)
         c = self.layout.chunk_qubits
-        local = np.ones(1, dtype=np.complex128)
+        local = np.ones(1, dtype=self.dtype)
         # kron builds indices with the *first* operand as the most
         # significant axis, so fold from the highest local qubit down.
         for q in reversed(range(c)):
@@ -228,7 +237,7 @@ class CompressedChunkStore:
         blobs = self.compressor.compress_batch(views)
         dt = time.perf_counter() - t0
         for c, blob in zip(chunks, blobs):
-            self.put_blob(c, blob, data_nbytes=cs * 16)
+            self.put_blob(c, blob, data_nbytes=cs * self.dtype.itemsize)
         self.stats.compress_seconds += dt
 
     def put_blob(self, chunk: int, blob: bytes, *, seconds: float = 0.0,
@@ -271,6 +280,8 @@ class CompressedChunkStore:
             tel.traffic.record("codec", "raw_out", nbytes, worker=worker)
 
     def _compress(self, data: np.ndarray) -> bytes:
+        if data.dtype != self._dtype:
+            data = data.astype(self._dtype)
         t0 = time.perf_counter()
         blob = self.compressor.compress(data)
         dt = time.perf_counter() - t0
@@ -328,7 +339,7 @@ class CompressedChunkStore:
         zeroes whole chunks without any codec work.
         """
         if self._zero_blob is None:
-            zeros = np.zeros(self.layout.chunk_size, dtype=np.complex128)
+            zeros = np.zeros(self.layout.chunk_size, dtype=self.dtype)
             self._zero_blob = self.compressor.compress(zeros)
         self._set_blob(chunk, self._zero_blob, shared=True)
 
@@ -378,7 +389,7 @@ class CompressedChunkStore:
         return total
 
     def dense_nbytes(self) -> int:
-        return self.layout.num_amplitudes * 16
+        return self.layout.num_amplitudes * self.dtype.itemsize
 
     def compression_ratio(self) -> float:
         c = self.compressed_nbytes()

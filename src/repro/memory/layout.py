@@ -44,15 +44,24 @@ class GroupPlacement:
 class ChunkLayout:
     """Index arithmetic for a chunked state vector."""
 
-    def __init__(self, num_qubits: int, chunk_qubits: int):
+    def __init__(self, num_qubits: int, chunk_qubits: int,
+                 itemsize: int = 16):
         if chunk_qubits < 1:
             raise ValueError("chunk_qubits must be >= 1")
         if chunk_qubits > num_qubits:
             raise ValueError(
                 f"chunk_qubits {chunk_qubits} exceeds num_qubits {num_qubits}"
             )
+        if itemsize not in (8, 16):
+            raise ValueError(
+                f"itemsize must be 8 (complex64) or 16 (complex128), "
+                f"got {itemsize}")
         self.num_qubits = int(num_qubits)
         self.chunk_qubits = int(chunk_qubits)
+        #: bytes per amplitude at rest; every byte-exact consumer (planner
+        #: fit checks, traffic prediction, span accounting) derives from
+        #: this instead of assuming complex128
+        self.itemsize = int(itemsize)
 
     # -- sizes -----------------------------------------------------------------
 
@@ -67,7 +76,14 @@ class ChunkLayout:
 
     @property
     def chunk_nbytes(self) -> int:
-        return self.chunk_size * 16  # complex128
+        return self.chunk_size * self.itemsize
+
+    @property
+    def dtype(self):
+        """The amplitude dtype this layout's itemsize implies."""
+        import numpy as np
+
+        return np.dtype(np.complex64 if self.itemsize == 8 else np.complex128)
 
     @property
     def num_chunks(self) -> int:

@@ -5,7 +5,8 @@ layout header plus the blob table — the on-disk footprint equals the
 in-memory compressed footprint, and save/load never materializes the dense
 vector. The format is a single self-describing file:
 
-    magic  "MQS1"
+    magic  "MQS1"  (complex128 stores) | "MQS2" (dtype-carrying)
+    [MQS2 only] u8 amplitude itemsize (8 = complex64, 16 = complex128)
     u32    num_qubits
     u32    chunk_qubits
     u32    compressor-name length | name bytes (utf-8)
@@ -14,6 +15,10 @@ vector. The format is a single self-describing file:
                (length 2^64-1 marks a reference to the shared zero blob,
                 which is stored once up front; length 2^64-2 marks an
                 uninitialized chunk)
+
+complex128 stores keep writing the historical ``MQS1`` frame byte for
+byte; non-c128 stores write ``MQS2`` with the itemsize byte, and the
+loader accepts both.
 
 Use :func:`save_store` / :func:`load_store`; the loader rebuilds the store
 around a compressor instance you provide (it must match the one that wrote
@@ -37,6 +42,7 @@ log = get_logger(__name__)
 __all__ = ["save_store", "load_store", "StoreFormatError"]
 
 _MAGIC = b"MQS1"
+_MAGIC_V2 = b"MQS2"
 _ZERO_REF = (1 << 64) - 1
 _UNINIT = (1 << 64) - 2
 
@@ -49,8 +55,9 @@ def save_store(store: CompressedChunkStore, path: Union[str, Path]) -> int:
     """Write the store to ``path``; returns bytes written."""
     path = Path(path)
     name = store.compressor.name.encode("utf-8")
+    item = store.layout.itemsize
     parts = [
-        _MAGIC,
+        _MAGIC if item == 16 else _MAGIC_V2 + struct.pack("<B", item),
         struct.pack("<II", store.layout.num_qubits, store.layout.chunk_qubits),
         struct.pack("<I", len(name)),
         name,
@@ -84,9 +91,16 @@ def load_store(
 ) -> CompressedChunkStore:
     """Rebuild a store from a checkpoint written by :func:`save_store`."""
     data = Path(path).read_bytes()
-    if data[:4] != _MAGIC:
+    itemsize = 16
+    if data[:4] == _MAGIC:
+        off = 4
+    elif data[:4] == _MAGIC_V2:
+        (itemsize,) = struct.unpack_from("<B", data, 4)
+        if itemsize not in (8, 16):
+            raise StoreFormatError(f"bad amplitude itemsize {itemsize}")
+        off = 5
+    else:
         raise StoreFormatError("not a MEMQSim store checkpoint")
-    off = 4
     num_qubits, chunk_qubits = struct.unpack_from("<II", data, off)
     off += 8
     (name_len,) = struct.unpack_from("<I", data, off)
@@ -100,7 +114,7 @@ def load_store(
         )
     (num_chunks,) = struct.unpack_from("<Q", data, off)
     off += 8
-    layout = ChunkLayout(num_qubits, chunk_qubits)
+    layout = ChunkLayout(num_qubits, chunk_qubits, itemsize=itemsize)
     if layout.num_chunks != num_chunks:
         raise StoreFormatError("chunk count does not match layout")
     store = CompressedChunkStore(layout, compressor, tracker)

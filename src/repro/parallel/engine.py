@@ -198,7 +198,8 @@ class ParallelStageScheduler(StageScheduler):
                 with self.telemetry.span(
                     "group_pass", stage=si, group=gi,
                     path="cpu" if cpu_path else "device",
-                    chunks=len(members), nbytes=group_size * 16,
+                    chunks=len(members),
+                    nbytes=group_size * self.layout.itemsize,
                     parallel=True,
                 ):
                     if cpu_path:
@@ -241,13 +242,15 @@ class ParallelStageScheduler(StageScheduler):
 
     def _submit_loads(self, members: Tuple[int, ...]) -> List[CodecJob]:
         cs = self.layout.chunk_size
+        dtype = getattr(self.store, "dtype", np.complex128)
         jobs = []
         for chunk in members:
             blob = self.store.get_blob(chunk)
             if blob is None:
                 raise KeyError(f"chunk {chunk} not initialized")
             jobs.append(self.codec_pool.submit_decompress(chunk, blob,
-                                                          count=cs))
+                                                          count=cs,
+                                                          dtype=dtype))
         return jobs
 
     def _collect_loads(self, gi: int, members: Tuple[int, ...],
@@ -270,7 +273,7 @@ class ParallelStageScheduler(StageScheduler):
             self.telemetry.access.record(job.key, self._audit_si, "r")
             self.telemetry.record_stage(
                 self.timeline, Stage.DECOMPRESS, res.seconds,
-                chunk=gi, nbytes=cs * 16, chunk_id=job.key,
+                chunk=gi, nbytes=self.layout.chunk_nbytes, chunk_id=job.key,
                 worker=res.worker_pid)
             self.store.note_decompressed(
                 arr.nbytes, res.seconds, blob_nbytes=blob_nbytes,
@@ -292,7 +295,6 @@ class ParallelStageScheduler(StageScheduler):
                       block: bool, only=None) -> None:
         """Install completed compress blobs; ``only`` restricts a blocking
         drain to that chunk set (the cross-stage prefetch's RMW guard)."""
-        cs = self.layout.chunk_size
         remaining: List[Tuple[int, int, CodecJob]] = []
         for gi, chunk, job in pending:
             if only is not None and chunk not in only:
@@ -306,10 +308,10 @@ class ParallelStageScheduler(StageScheduler):
             # context; the blob belongs to the group that submitted it.
             with self.telemetry.traffic.attributed(self._audit_si, gi):
                 self.store.put_blob(chunk, res.blob, seconds=res.seconds,
-                                    data_nbytes=cs * 16,
+                                    data_nbytes=self.layout.chunk_nbytes,
                                     worker=res.worker_pid)
             self.telemetry.record_stage(
                 self.timeline, Stage.COMPRESS, res.seconds,
-                chunk=gi, nbytes=cs * 16, chunk_id=chunk,
+                chunk=gi, nbytes=self.layout.chunk_nbytes, chunk_id=chunk,
                 worker=res.worker_pid)
         pending[:] = remaining

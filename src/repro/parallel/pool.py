@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..compression.interface import Compressor
+from ..compression.interface import Compressor, coerce_amplitudes
 from ..telemetry import NULL_TELEMETRY, get_logger
 
 __all__ = [
@@ -76,18 +76,18 @@ def _open_shm(name: str):
 
 
 def _worker_compress(data: Optional[bytes], shm_name: Optional[str],
-                     count: int):
+                     count: int, dtype: str = "complex128"):
     t_wall = time.time()
     t0 = time.perf_counter()
+    dt = np.dtype(dtype)
     if shm_name is not None:
         shm = _open_shm(shm_name)
         try:
-            arr = np.ndarray((count,), dtype=np.complex128,
-                             buffer=shm.buf).copy()
+            arr = np.ndarray((count,), dtype=dt, buffer=shm.buf).copy()
         finally:
             shm.close()
     else:
-        arr = np.frombuffer(data, dtype=np.complex128)
+        arr = np.frombuffer(data, dtype=dt)
     blob = _WORKER_COMPRESSOR.compress(arr)
     return blob, t_wall, time.perf_counter() - t0, os.getpid()
 
@@ -95,19 +95,20 @@ def _worker_compress(data: Optional[bytes], shm_name: Optional[str],
 def _worker_decompress(blob: bytes, shm_name: Optional[str]):
     t_wall = time.time()
     t0 = time.perf_counter()
-    arr = np.ascontiguousarray(_WORKER_COMPRESSOR.decompress(blob),
-                               dtype=np.complex128)
+    # The blob's dtype tag decides the output dtype; the parent learns it
+    # from the returned dtype name.
+    arr = np.ascontiguousarray(_WORKER_COMPRESSOR.decompress(blob))
     if shm_name is not None:
         shm = _open_shm(shm_name)
         try:
-            np.ndarray(arr.shape, dtype=np.complex128,
-                       buffer=shm.buf)[:] = arr
+            np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[:] = arr
         finally:
             shm.close()
         payload = None
     else:
         payload = arr.tobytes()
-    return payload, arr.shape[0], t_wall, time.perf_counter() - t0, os.getpid()
+    return (payload, arr.shape[0], arr.dtype.name, t_wall,
+            time.perf_counter() - t0, os.getpid())
 
 
 # -- parent side --------------------------------------------------------------
@@ -133,12 +134,15 @@ class CodecJob:
     redoing the job inline.
     """
 
-    __slots__ = ("kind", "key", "count", "future", "payload", "shm", "result")
+    __slots__ = ("kind", "key", "count", "dtype", "future", "payload", "shm",
+                 "result")
 
-    def __init__(self, kind: str, key: int, count: int = 0):
+    def __init__(self, kind: str, key: int, count: int = 0,
+                 dtype=np.complex128):
         self.kind = kind          # "compress" | "decompress"
         self.key = key
         self.count = count        # amplitudes (compress input / decompress output)
+        self.dtype = np.dtype(dtype)
         self.future = None
         self.payload: Optional[bytes] = None
         self.shm = None
@@ -261,21 +265,22 @@ class CodecWorkerPool:
 
     def submit_compress(self, key: int, data: np.ndarray) -> CodecJob:
         """Queue a compress job; ``data`` is copied, caller may reuse it."""
-        data = np.ascontiguousarray(data, dtype=np.complex128)
-        job = CodecJob("compress", key, count=data.shape[0])
+        data = coerce_amplitudes(data)
+        job = CodecJob("compress", key, count=data.shape[0],
+                       dtype=data.dtype)
         if self._exec is None:
             self._run_inline(job, data=data)
             return job
         try:
             if data.nbytes >= self.shm_threshold:
                 job.shm = self._make_shm(data.nbytes)
-                np.ndarray(data.shape, dtype=np.complex128,
+                np.ndarray(data.shape, dtype=data.dtype,
                            buffer=job.shm.buf)[:] = data
                 self.stats.shm_jobs += 1
-                args = (None, job.shm.name, data.shape[0])
+                args = (None, job.shm.name, data.shape[0], data.dtype.name)
             else:
                 job.payload = data.tobytes()
-                args = (job.payload, None, data.shape[0])
+                args = (job.payload, None, data.shape[0], data.dtype.name)
             job.future = self._exec.submit(_worker_compress, *args)
         except Exception as exc:
             self._degrade(f"submit failed: {exc!r}")
@@ -286,17 +291,23 @@ class CodecWorkerPool:
         return job
 
     def submit_decompress(self, key: int, blob: bytes,
-                          count: Optional[int] = None) -> CodecJob:
-        """Queue a decompress job; ``count`` (if known) sizes the shm lane."""
-        job = CodecJob("decompress", key, count=count or 0)
+                          count: Optional[int] = None,
+                          dtype=np.complex128) -> CodecJob:
+        """Queue a decompress job.
+
+        ``count`` and ``dtype`` (if known) size the shm lane — the output
+        dtype itself always comes from the blob's dtype tag.
+        """
+        job = CodecJob("decompress", key, count=count or 0, dtype=dtype)
         job.payload = blob
         if self._exec is None:
             self._run_inline(job)
             return job
         try:
             shm_name = None
-            if count and count * 16 >= self.shm_threshold:
-                job.shm = self._make_shm(count * 16)
+            itemsize = job.dtype.itemsize
+            if count and count * itemsize >= self.shm_threshold:
+                job.shm = self._make_shm(count * itemsize)
                 shm_name = job.shm.name
                 self.stats.shm_jobs += 1
             job.future = self._exec.submit(_worker_decompress, blob, shm_name)
@@ -340,12 +351,13 @@ class CodecWorkerPool:
             res = CodecResult(job.key, blob=blob, seconds=dt,
                               wall_start=t_wall, worker_pid=pid)
         else:
-            payload, n, t_wall, dt, pid = raw
+            payload, n, dtype_name, t_wall, dt, pid = raw
+            out_dt = np.dtype(dtype_name)
             if job.shm is not None:
-                arr = np.ndarray((n,), dtype=np.complex128,
+                arr = np.ndarray((n,), dtype=out_dt,
                                  buffer=job.shm.buf).copy()
             else:
-                arr = np.frombuffer(payload, dtype=np.complex128)
+                arr = np.frombuffer(payload, dtype=out_dt)
             res = CodecResult(job.key, array=arr, seconds=dt,
                               wall_start=t_wall, worker_pid=pid)
         self._cleanup_shm(job)
@@ -392,9 +404,9 @@ class CodecWorkerPool:
     def _retained_input(self, job: CodecJob) -> np.ndarray:
         """Recover a compress job's input from its retained payload/shm."""
         if job.shm is not None:
-            return np.ndarray((job.count,), dtype=np.complex128,
+            return np.ndarray((job.count,), dtype=job.dtype,
                               buffer=job.shm.buf).copy()
-        return np.frombuffer(job.payload, dtype=np.complex128)
+        return np.frombuffer(job.payload, dtype=job.dtype)
 
     def _make_shm(self, nbytes: int):
         from multiprocessing import shared_memory

@@ -67,8 +67,9 @@ def autotune_chunk_qubits(
     if candidates is None:
         hi = min(n - 1, config.max_chunk_qubits)
         # The chunk (doubled for a group of 2, double-buffered) must fit
-        # the device.
-        dev_amps = config.device.memory_bytes // 16
+        # the device — at the resolved precision's itemsize, so c64 runs
+        # probe chunk sizes a full qubit larger.
+        dev_amps = config.device.memory_bytes // config.storage_itemsize()
         while hi >= 2 and (1 << (hi + 1)) * 2 > dev_amps:
             hi -= 1
         candidates = list(range(2, hi + 1))

@@ -37,15 +37,20 @@ __all__ = ["plan_stages", "max_group_qubits_for", "PlanReport", "describe_plan"]
 
 def max_group_qubits_for(layout: ChunkLayout, device: DeviceSpec,
                          double_buffer: bool = True) -> int:
-    """Largest ``t`` such that a group buffer fits the device arena."""
+    """Largest ``t`` such that a group buffer fits the device arena.
+
+    Byte math uses ``layout.itemsize``, so a complex64 layout fits groups
+    one qubit wider than complex128 in the same device memory.
+    """
     copies = 2 if double_buffer else 1
+    item = layout.itemsize
     t = 0
     while True:
-        need = copies * (1 << (layout.chunk_qubits + t + 1)) * 16
+        need = copies * (1 << (layout.chunk_qubits + t + 1)) * item
         if need > device.memory_bytes or layout.chunk_qubits + t + 1 > layout.num_qubits:
             break
         t += 1
-    if (1 << layout.chunk_qubits) * 16 * copies > device.memory_bytes:
+    if (1 << layout.chunk_qubits) * item * copies > device.memory_bytes:
         raise ValueError(
             f"chunk of {layout.chunk_qubits} qubits does not fit device memory "
             f"{device.memory_bytes:,}B (x{copies} buffers)"

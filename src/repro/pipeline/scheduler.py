@@ -112,7 +112,7 @@ def remap_gate_for_group(
             # rotation would be a correctness bug, not an optimization.
             if np.isclose(rd[0], 1.0, rtol=0.0, atol=1e-15):
                 return None
-            scaled = np.array([rd[0], rd[0]], dtype=np.complex128)
+            scaled = np.array([rd[0], rd[0]], dtype=rd.dtype)
             return make_diagonal_gate((0,), scaled, name="gphase_restricted")
         mapping = {}
         for q in remaining:
@@ -333,7 +333,8 @@ class StageScheduler:
             with self.telemetry.span(
                 "group_pass", stage=si, group=gi,
                 path="cpu" if cpu_path else "device",
-                chunks=len(members), nbytes=group_size * 16,
+                chunks=len(members),
+                nbytes=group_size * self.layout.itemsize,
             ):
                 if cpu_path:
                     self._run_group_cpu(gi, members, ops, group_size)
@@ -372,7 +373,8 @@ class StageScheduler:
         for slot, chunk in enumerate(members):
             self.telemetry.access.record(chunk, self._audit_si, "r")
             with self.telemetry.stage_span(self.timeline, Stage.DECOMPRESS,
-                                           chunk=gi, nbytes=cs * 16,
+                                           chunk=gi,
+                                           nbytes=self.layout.chunk_nbytes,
                                            chunk_id=chunk):
                 self.store.load(chunk, out=buf[slot * cs:(slot + 1) * cs])
 
@@ -381,7 +383,8 @@ class StageScheduler:
         for slot, chunk in enumerate(members):
             self.telemetry.access.record(chunk, self._audit_si, "w")
             with self.telemetry.stage_span(self.timeline, Stage.COMPRESS,
-                                           chunk=gi, nbytes=cs * 16,
+                                           chunk=gi,
+                                           nbytes=self.layout.chunk_nbytes,
                                            chunk_id=chunk):
                 self.store.store(chunk, buf[slot * cs:(slot + 1) * cs])
 
@@ -389,7 +392,7 @@ class StageScheduler:
                        view: np.ndarray) -> None:
         """Upload -> kernels -> download for one already-staged group."""
         executor = self._executor_for(gi)
-        dev = executor.alloc(view.shape[0])
+        dev = executor.alloc(view.shape[0], dtype=view.dtype)
         try:
             executor.upload(view, dev, gi)
             if ops:
